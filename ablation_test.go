@@ -1,0 +1,233 @@
+// Ablation benchmarks: each measures the cost or benefit of one design
+// choice DESIGN.md calls out, holding everything else fixed. Run with
+//
+//	go test -bench=Ablation -benchmem
+package machlock_test
+
+import (
+	"sync"
+	"testing"
+
+	"machlock/internal/core/cxlock"
+	"machlock/internal/core/refcount"
+	"machlock/internal/core/splock"
+	"machlock/internal/cthreads"
+	"machlock/internal/sched"
+)
+
+// BenchmarkAblationEventTableSharding: the event table hashes events into
+// 64 buckets so unrelated events do not contend on one mutex. Compare a
+// workload where every wakeup hits ONE event (worst case: all traffic in
+// one bucket) against the same volume spread over 64 events.
+func BenchmarkAblationEventTableSharding(b *testing.B) {
+	run := func(b *testing.B, nEvents int) {
+		tb := sched.NewTable()
+		events := make([]*int, nEvents)
+		for i := range events {
+			events[i] = new(int)
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				tb.ThreadWakeup(events[i%nEvents]) // empty wakeup: pure table cost
+				i++
+			}
+		})
+	}
+	b.Run("1-event", func(b *testing.B) { run(b, 1) })
+	b.Run("64-events", func(b *testing.B) { run(b, 64) })
+}
+
+// BenchmarkAblationWakeupOneVsAll: thread_wakeup wakes every waiter even
+// when only one can make progress (a lock hand-off), causing a thundering
+// herd; thread_wakeup_one hands off directly. Measure a mutex-style
+// hand-off chain under both.
+func BenchmarkAblationWakeupOneVsAll(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		all  bool
+	}{{"wakeup-one", false}, {"wakeup-all", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var mu sync.Mutex
+			held := false
+			waiters := 0
+			ev := new(int)
+			const nthreads = 8
+			each := b.N/nthreads + 1
+			var ths []*sched.Thread
+			for i := 0; i < nthreads; i++ {
+				ths = append(ths, sched.Go("w", func(self *sched.Thread) {
+					for n := 0; n < each; n++ {
+						mu.Lock()
+						for held {
+							waiters++
+							sched.AssertWait(self, ev)
+							mu.Unlock()
+							sched.ThreadBlock(self)
+							mu.Lock()
+							waiters--
+						}
+						held = true
+						mu.Unlock()
+
+						mu.Lock()
+						held = false
+						wake := waiters > 0
+						mu.Unlock()
+						if wake {
+							if tc.all {
+								sched.ThreadWakeup(ev)
+							} else {
+								sched.ThreadWakeupOne(ev)
+							}
+						}
+					}
+				}))
+			}
+			for _, th := range ths {
+				th.Join()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCheckedLockOverhead: the debug discipline (holder
+// tracking, double-acquire detection, block-while-held enforcement) against
+// the raw simple lock — what the checked variant costs per acquisition.
+func BenchmarkAblationCheckedLockOverhead(b *testing.B) {
+	b.Run("raw", func(b *testing.B) {
+		var l splock.Lock
+		for i := 0; i < b.N; i++ {
+			l.Lock()
+			l.Unlock()
+		}
+	})
+	b.Run("checked", func(b *testing.B) {
+		l := splock.NewChecked("bench")
+		th := sched.New("t")
+		for i := 0; i < b.N; i++ {
+			l.Lock(th)
+			l.Unlock(th)
+		}
+	})
+	b.Run("ordered-hierarchy", func(b *testing.B) {
+		h := splock.NewHierarchy(false)
+		l := h.NewOrdered("bench", 1)
+		th := sched.New("t")
+		for i := 0; i < b.N; i++ {
+			l.Lock(th)
+			l.Unlock(th)
+		}
+	})
+}
+
+// BenchmarkAblationObjectDiscipline: the full kernel-object reference
+// discipline (lock, clone, unlock / lock, release, unlock, destroy check)
+// against a bare count — what Sections 8–9 cost per reference operation.
+func BenchmarkAblationObjectDiscipline(b *testing.B) {
+	b.Run("bare-count", func(b *testing.B) {
+		var c refcount.Count
+		c.Init(1)
+		for i := 0; i < b.N; i++ {
+			c.Clone()
+			c.Release()
+		}
+	})
+	b.Run("kernel-object", func(b *testing.B) {
+		o := newBenchObject()
+		for i := 0; i < b.N; i++ {
+			o.TakeRef()
+			o.Release(nil)
+		}
+	})
+}
+
+// BenchmarkAblationRecursiveHolderCheck: every complex-lock operation
+// compares against the recursive holder; measure a read hand-off with and
+// without a thread identity (nil skips holder comparisons AND the observer
+// hooks).
+func BenchmarkAblationRecursiveHolderCheck(b *testing.B) {
+	b.Run("with-identity", func(b *testing.B) {
+		l := cxlock.New(false)
+		th := sched.New("t")
+		for i := 0; i < b.N; i++ {
+			l.Read(th)
+			l.Done(th)
+		}
+	})
+	b.Run("anonymous", func(b *testing.B) {
+		l := cxlock.New(false)
+		for i := 0; i < b.N; i++ {
+			l.Read(nil)
+			l.Done(nil)
+		}
+	})
+}
+
+// BenchmarkAblationConditionVsRawEvent: the C Threads condition variable
+// against raw assert_wait/thread_block — what the user-level abstraction
+// adds over the kernel primitive for one handoff.
+func BenchmarkAblationConditionVsRawEvent(b *testing.B) {
+	b.Run("cthreads-condition", func(b *testing.B) {
+		mu := cthreads.NewMutex()
+		cond := cthreads.NewCondition()
+		ready := 0
+		total := b.N
+		consumer := cthreads.Spawn("c", func(self *sched.Thread) {
+			for n := 0; n < total; n++ {
+				mu.Lock(self)
+				for ready == 0 {
+					cond.Wait(self, mu)
+				}
+				ready--
+				mu.Unlock(self)
+			}
+		})
+		producer := cthreads.Spawn("p", func(self *sched.Thread) {
+			for n := 0; n < total; n++ {
+				mu.Lock(self)
+				ready++
+				mu.Unlock(self)
+				cond.Signal()
+			}
+		})
+		producer.Join()
+		consumer.Join()
+	})
+	b.Run("raw-event-wait", func(b *testing.B) {
+		var mu sync.Mutex
+		ready := 0
+		ev := new(int)
+		total := b.N
+		consumer := sched.Go("c", func(self *sched.Thread) {
+			for n := 0; n < total; n++ {
+				mu.Lock()
+				for ready == 0 {
+					sched.AssertWait(self, ev)
+					mu.Unlock()
+					sched.ThreadBlock(self)
+					mu.Lock()
+				}
+				ready--
+				mu.Unlock()
+			}
+		})
+		producer := sched.Go("p", func(self *sched.Thread) {
+			for n := 0; n < total; n++ {
+				mu.Lock()
+				ready++
+				mu.Unlock()
+				sched.ThreadWakeup(ev)
+			}
+		})
+		producer.Join()
+		consumer.Join()
+	})
+}
+
+// newBenchObject builds an initialized kernel object for the ablations.
+func newBenchObject() *benchKObj {
+	o := &benchKObj{}
+	o.Init("bench")
+	return o
+}

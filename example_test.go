@@ -1,0 +1,138 @@
+package machlock_test
+
+import (
+	"fmt"
+
+	"machlock"
+)
+
+// The simple lock is Mach's spinning mutual exclusion lock: the zero value
+// is unlocked, and it may never be held across a blocking operation.
+func ExampleSimpleLock() {
+	var lock machlock.SimpleLock
+	counter := 0
+
+	workers := make([]*machlock.Thread, 4)
+	for i := range workers {
+		workers[i] = machlock.Go("worker", func(t *machlock.Thread) {
+			for j := 0; j < 1000; j++ {
+				lock.Lock()
+				counter++
+				lock.Unlock()
+			}
+		})
+	}
+	for _, w := range workers {
+		w.Join()
+	}
+	fmt.Println(counter)
+	// Output: 4000
+}
+
+// The complex lock shares among readers, excludes for writers (with writer
+// priority), and downgrades without any possibility of failure — the
+// paper's recommended alternative to upgrading.
+func ExampleComplexLock() {
+	rw := machlock.NewComplexLock(true) // Sleep option on
+	value := 0
+
+	w := machlock.Go("writer", func(t *machlock.Thread) {
+		rw.Write(t)
+		value = 42
+		rw.WriteToRead(t) // downgrade: keep reading what we wrote
+		observed := value
+		rw.Done(t)
+		fmt.Println("writer observed", observed)
+	})
+	w.Join()
+
+	r := machlock.Go("reader", func(t *machlock.Thread) {
+		rw.Read(t)
+		fmt.Println("reader observed", value)
+		rw.Done(t)
+	})
+	r.Join()
+	// Output:
+	// writer observed 42
+	// reader observed 42
+}
+
+// The event-wait protocol splits declaration (AssertWait) from the wait
+// itself (ThreadBlock): asserting before releasing the lock makes the
+// release-and-wait atomic with respect to wakeups.
+func ExampleAssertWait() {
+	var lock machlock.SimpleLock
+	ready := false
+	ev := new(int)
+
+	consumer := machlock.Go("consumer", func(t *machlock.Thread) {
+		lock.Lock()
+		for !ready {
+			machlock.AssertWait(t, ev) // 1. declare
+			lock.Unlock()              // 2. release
+			machlock.ThreadBlock(t)    // 3. wait (no-op if already woken)
+			lock.Lock()
+		}
+		lock.Unlock()
+		fmt.Println("consumer saw the event")
+	})
+
+	producer := machlock.Go("producer", func(t *machlock.Thread) {
+		lock.Lock()
+		ready = true
+		lock.Unlock()
+		machlock.ThreadWakeup(ev)
+	})
+	producer.Join()
+	consumer.Join()
+	// Output: consumer saw the event
+}
+
+// Kernel objects combine a lock, a reference count, and the deactivation
+// protocol: operations re-check liveness after every relock and fail
+// cleanly once the object is terminated.
+func ExampleKernelObject() {
+	type account struct {
+		machlock.KernelObject
+		balance int
+	}
+	acct := &account{}
+	acct.Init("savings") // born active, one reference (the creator's)
+
+	deposit := func(n int) error {
+		acct.Lock()
+		defer acct.Unlock()
+		if err := acct.CheckActive(); err != nil {
+			return err
+		}
+		acct.balance += n
+		return nil
+	}
+	fmt.Println("deposit:", deposit(100))
+
+	acct.Lock()
+	acct.Deactivate() // terminate the object
+	acct.Unlock()
+	fmt.Println("deposit after termination:", deposit(50))
+
+	destroyed := acct.Release(nil) // last reference: structure goes away
+	fmt.Println("destroyed:", destroyed)
+	// Output:
+	// deposit: <nil>
+	// deposit after termination: object: deactivated
+	// destroyed: true
+}
+
+// Reference counts guarantee existence: clone under the lock, release when
+// done, destroy exactly at zero.
+func ExampleRefCount() {
+	var refs machlock.RefCount
+	refs.Init(1) // the creator's reference
+	refs.Clone() // a second holder
+
+	fmt.Println("after first release:", refs.Release())
+	fmt.Println("after final release:", refs.Release())
+	// Output:
+	// after first release: false
+	// after final release: true
+}

@@ -1,0 +1,159 @@
+// Quickstart: the machlock public API in one small program — simple
+// locks, a complex (readers/writers) lock with the Sleep option, the
+// event-wait primitives, and a refcounted deactivatable kernel object.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"machlock"
+)
+
+// account is a kernel-object-style structure: embedded object base
+// (simple lock + refcount + deactivation) plus protected state.
+type account struct {
+	machlock.KernelObject
+	balance int64
+}
+
+func main() {
+	simpleLocks()
+	complexLocks()
+	eventWait()
+	objectLifecycle()
+}
+
+// simpleLocks: mutual exclusion with the spinning simple lock. The zero
+// value is an unlocked lock, exactly like simple_lock_init's result.
+func simpleLocks() {
+	var lock machlock.SimpleLock
+	counter := 0
+
+	workers := make([]*machlock.Thread, 4)
+	for i := range workers {
+		workers[i] = machlock.Go(fmt.Sprintf("worker-%d", i), func(t *machlock.Thread) {
+			for j := 0; j < 10_000; j++ {
+				lock.Lock()
+				counter++ // short critical section: no blocking allowed here
+				lock.Unlock()
+			}
+		})
+	}
+	for _, w := range workers {
+		w.Join()
+	}
+	fmt.Printf("simple lock: 4 workers x 10000 increments = %d\n", counter)
+}
+
+// complexLocks: many readers share; writers exclude and have priority; a
+// writer that needs to read afterwards downgrades (which cannot fail).
+func complexLocks() {
+	rw := machlock.NewComplexLock(true) // Sleep option: waiters block
+	table := map[string]int{"a": 1}
+	var reads atomic.Int64
+
+	readers := make([]*machlock.Thread, 3)
+	for i := range readers {
+		readers[i] = machlock.Go("reader", func(t *machlock.Thread) {
+			for j := 0; j < 5_000; j++ {
+				rw.Read(t)
+				_ = table["a"]
+				reads.Add(1)
+				rw.Done(t)
+			}
+		})
+	}
+	writer := machlock.Go("writer", func(t *machlock.Thread) {
+		for j := 0; j < 100; j++ {
+			rw.Write(t)
+			table["a"]++
+			rw.WriteToRead(t) // downgrade: verify while still holding
+			_ = table["a"]
+			rw.Done(t)
+		}
+	})
+	writer.Join()
+	for _, r := range readers {
+		r.Join()
+	}
+	s := rw.Stats()
+	fmt.Printf("complex lock: %d reads, %d writes, %d downgrades, value=%d\n",
+		s.ReadAcquisitions, s.WriteAcquisitions, s.Downgrades, table["a"])
+}
+
+// eventWait: the race-free release-locks-then-wait protocol. AssertWait
+// runs BEFORE the lock is released, so the producer's wakeup can never be
+// lost, no matter how the goroutines interleave.
+func eventWait() {
+	var lock machlock.SimpleLock
+	queue := []int{}
+	ev := new(int) // events are conventionally addresses
+
+	consumer := machlock.Go("consumer", func(t *machlock.Thread) {
+		received := 0
+		for received < 100 {
+			lock.Lock()
+			for len(queue) == 0 {
+				machlock.AssertWait(t, ev) // 1. declare the event
+				lock.Unlock()              // 2. release the lock
+				machlock.ThreadBlock(t)    // 3. wait (no-op if already woken)
+				lock.Lock()
+			}
+			queue = queue[1:]
+			received++
+			lock.Unlock()
+		}
+	})
+	producer := machlock.Go("producer", func(t *machlock.Thread) {
+		for i := 0; i < 100; i++ {
+			lock.Lock()
+			queue = append(queue, i)
+			lock.Unlock()
+			machlock.ThreadWakeup(ev)
+		}
+	})
+	producer.Join()
+	consumer.Join()
+	fmt.Println("event wait: 100 items handed off with zero lost wakeups")
+}
+
+// objectLifecycle: create (one reference), share (clone under lock),
+// deactivate (operations fail cleanly), destroy (last release).
+func objectLifecycle() {
+	acct := &account{}
+	acct.Init("account") // born active with the creator's reference
+
+	// A second holder clones a reference, then both operate.
+	acct.TakeRef()
+	deposit := func(amount int64) error {
+		acct.Lock()
+		defer acct.Unlock()
+		if err := acct.CheckActive(); err != nil {
+			return err // deactivated: recover and fail, never corrupt
+		}
+		acct.balance += amount
+		return nil
+	}
+	if err := deposit(100); err != nil {
+		panic(err)
+	}
+
+	// Terminate: deactivate under the lock; the structure lives on while
+	// references remain.
+	acct.Lock()
+	acct.Deactivate()
+	acct.Unlock()
+	err := deposit(50)
+	fmt.Printf("object: balance=%d, deposit after deactivation: %v\n", acct.balance, err)
+
+	destroyed := false
+	acct.Release(nil) // second holder's reference
+	if acct.Release(func() { destroyed = true }) {
+		fmt.Printf("object: destroyed at last release = %v\n", destroyed)
+	}
+}

@@ -1,0 +1,153 @@
+// RPC server example: the Section 10 kernel-operation protocol end to end.
+//
+// A "name service" kernel object is exported through a port. Clients send
+// request messages; the dispatcher translates the port to the object,
+// acquiring a reference so the object cannot vanish mid-operation; the
+// operation locks the object and re-checks liveness; a terminator runs the
+// shutdown sequence concurrently. Operations that lose the race fail
+// cleanly — nothing ever touches a destroyed structure.
+//
+// Run with:
+//
+//	go run ./examples/rpcserver
+package main
+
+import (
+	"fmt"
+
+	"machlock/internal/core/object"
+	"machlock/internal/ipc"
+	"machlock/internal/sched"
+)
+
+// Operations on the directory object.
+const (
+	opPut = iota
+	opGet
+	opLen
+	opShutdown
+)
+
+// directory is the kernel object: embedded object base + protected state.
+type directory struct {
+	object.Object
+	entries map[string]string
+}
+
+func main() {
+	// Build the object (one creator reference) and its port; the port's
+	// kobject pointer carries its own cloned reference.
+	dir := &directory{entries: make(map[string]string)}
+	dir.Init("directory")
+	port := ipc.NewPort("directory-port")
+	dir.TakeRef()
+	port.SetKObject(ipc.KindCustom, dir)
+
+	srv := ipc.NewServer(ipc.Mach25)
+	srv.Register(ipc.KindCustom, opPut, func(ctx *ipc.Context, ko ipc.KObject, req *ipc.Message) *ipc.Message {
+		d := ko.(*directory)
+		d.Lock()
+		defer d.Unlock()
+		if err := d.CheckActive(); err != nil {
+			return ipc.NewErrorReply(req, err)
+		}
+		d.entries[req.Body[0].(string)] = req.Body[1].(string)
+		return ipc.NewReply(req, "ok")
+	})
+	srv.Register(ipc.KindCustom, opGet, func(ctx *ipc.Context, ko ipc.KObject, req *ipc.Message) *ipc.Message {
+		d := ko.(*directory)
+		d.Lock()
+		defer d.Unlock()
+		if err := d.CheckActive(); err != nil {
+			return ipc.NewErrorReply(req, err)
+		}
+		v, ok := d.entries[req.Body[0].(string)]
+		return ipc.NewReply(req, v, ok)
+	})
+	srv.Register(ipc.KindCustom, opLen, func(ctx *ipc.Context, ko ipc.KObject, req *ipc.Message) *ipc.Message {
+		d := ko.(*directory)
+		d.Lock()
+		defer d.Unlock()
+		if err := d.CheckActive(); err != nil {
+			return ipc.NewErrorReply(req, err)
+		}
+		return ipc.NewReply(req, len(d.entries))
+	})
+	srv.Register(ipc.KindCustom, opShutdown, func(ctx *ipc.Context, ko ipc.KObject, req *ipc.Message) *ipc.Message {
+		won := ipc.Shutdown(port, ko.(*directory), nil)
+		return ipc.NewReply(req, won)
+	})
+
+	// The kernel's message loop for this port.
+	port.TakeRef()
+	server := sched.Go("server", func(self *sched.Thread) {
+		srv.Serve(self, port)
+		port.Release(nil)
+	})
+
+	// Clients hammer the directory.
+	clients := make([]*sched.Thread, 3)
+	for i := range clients {
+		id := i
+		clients[i] = sched.Go(fmt.Sprintf("client-%d", id), func(self *sched.Thread) {
+			puts, gets, failures := 0, 0, 0
+			for n := 0; n < 200; n++ {
+				key := fmt.Sprintf("key-%d-%d", id, n)
+				resp, err := ipc.Call(self, port, opPut, key, "value")
+				if err != nil {
+					return // port died
+				}
+				if resp.Err != nil {
+					failures++
+				} else {
+					puts++
+				}
+				resp.Destroy()
+
+				resp, err = ipc.Call(self, port, opGet, key)
+				if err != nil {
+					return
+				}
+				if resp.Err != nil {
+					failures++
+				} else {
+					gets++
+				}
+				resp.Destroy()
+
+				if n == 199 {
+					fmt.Printf("client-%d: %d puts, %d gets, %d clean failures\n",
+						id, puts, gets, failures)
+				}
+			}
+		})
+	}
+	for _, c := range clients {
+		c.Join()
+	}
+
+	// Read the final size, then terminate the object via its own port —
+	// the Section 10 shutdown sequence.
+	boss := sched.New("boss")
+	resp, err := ipc.Call(boss, port, opLen)
+	if err == nil && resp.Err == nil {
+		fmt.Printf("directory holds %d entries; shutting down\n", resp.Body[0])
+		resp.Destroy()
+	}
+	resp, err = ipc.Call(boss, port, opShutdown)
+	if err == nil {
+		fmt.Printf("shutdown won the race: %v\n", resp.Body[0])
+		resp.Destroy()
+	}
+
+	// Post-shutdown operations fail cleanly: translation is disabled.
+	resp, err = ipc.Call(boss, port, opGet, "key-0-0")
+	if err == nil {
+		fmt.Printf("get after shutdown: err=%v (expected: no kernel object)\n", resp.Err)
+		resp.Destroy()
+	}
+
+	port.Destroy()
+	server.Join()
+	fmt.Println("server drained; all references released")
+}

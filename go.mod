@@ -1,0 +1,3 @@
+module machlock
+
+go 1.24

@@ -1,0 +1,130 @@
+package cxlock
+
+import (
+	"machlock/internal/core/splock"
+	"machlock/internal/sched"
+)
+
+// ClassLock is the "custom designed lock" of Section 5: "two exclusive
+// classes of readers". Holders of the same class share the lock;
+// the two classes exclude each other. In the pmap modules this replaced a
+// readers/writers pmap system lock: forward (pmap→pv) operations form one
+// class and reverse (pv→pmap) operations the other — members of a class
+// never conflict on lock ORDER with each other, only with the other class.
+//
+// Fairness follows the same shape as writer priority: once a thread of
+// the other class is waiting, new requests of the currently-active class
+// queue behind it, so neither class can starve the other.
+type ClassLock struct {
+	interlock splock.Lock
+
+	count   [2]int32 // active holders per class
+	waiting [2]int32 // queued requestors per class
+	// turn biases admission toward a class with waiters when the lock
+	// drains; flips on every hand-off.
+	turn int
+}
+
+// Class identifies one of the two reader classes.
+type Class int
+
+// The two classes. The names reflect the pmap use; any two mutually
+// exclusive populations fit.
+const (
+	Forward Class = 0 // e.g. virtual→physical operations
+	Reverse Class = 1 // e.g. physical→virtual operations
+)
+
+// NewClassLock creates an unheld class lock.
+func NewClassLock() *ClassLock { return &ClassLock{} }
+
+func (c Class) other() Class { return 1 - c }
+
+// Acquire takes the lock for class c on behalf of t (nil spins). It
+// admits the caller when no holder of the other class is active, and
+// queues behind waiting members of the other class to prevent starvation.
+func (l *ClassLock) Acquire(c Class, t *sched.Thread) {
+	l.interlock.Lock()
+	for !l.admissible(c) {
+		l.waiting[c]++
+		if t != nil {
+			sched.AssertWait(t, sched.Event(l))
+			l.interlock.Unlock()
+			sched.ThreadBlock(t)
+		} else {
+			l.interlock.Unlock()
+			spinYield()
+		}
+		l.interlock.Lock()
+		l.waiting[c]--
+	}
+	l.count[c]++
+	l.interlock.Unlock()
+}
+
+// TryAcquire makes a single attempt.
+func (l *ClassLock) TryAcquire(c Class, t *sched.Thread) bool {
+	l.interlock.Lock()
+	defer l.interlock.Unlock()
+	if !l.admissible(c) {
+		return false
+	}
+	l.count[c]++
+	return true
+}
+
+// admissible reports whether a class-c requestor may enter; interlock
+// held. The anti-starvation rule mirrors writer priority: once the other
+// class has a waiter, no new member may join the active class (it must
+// drain), and an idle lock admits by turn.
+func (l *ClassLock) admissible(c Class) bool {
+	o := c.other()
+	if l.count[o] > 0 {
+		return false
+	}
+	if l.waiting[o] > 0 {
+		if l.count[c] > 0 {
+			return false // let the active class drain
+		}
+		if l.turn != int(c) {
+			return false // idle with both classes interested: other's turn
+		}
+	}
+	return true
+}
+
+// Release drops one class-c hold, handing the turn to the other class if
+// it has waiters and waking everyone to re-evaluate.
+func (l *ClassLock) Release(c Class, t *sched.Thread) {
+	l.interlock.Lock()
+	if l.count[c] <= 0 {
+		l.interlock.Unlock()
+		panic("cxlock: ClassLock release of unheld class")
+	}
+	l.count[c]--
+	wake := false
+	if l.count[c] == 0 {
+		if l.waiting[c.other()] > 0 {
+			l.turn = int(c.other())
+		}
+		wake = l.waiting[0]+l.waiting[1] > 0
+	}
+	l.interlock.Unlock()
+	if wake {
+		sched.ThreadWakeup(sched.Event(l))
+	}
+}
+
+// Holders returns the current holder count of class c (advisory).
+func (l *ClassLock) Holders(c Class) int {
+	l.interlock.Lock()
+	defer l.interlock.Unlock()
+	return int(l.count[c])
+}
+
+// spinYield is the non-sleeping wait step.
+func spinYield() {
+	// Reuse the complex lock's pause so ClassLock spinners behave the
+	// same as other spinners in the package.
+	busyYield()
+}

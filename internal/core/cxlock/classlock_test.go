@@ -1,0 +1,136 @@
+package cxlock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"machlock/internal/sched"
+)
+
+func TestClassLockSameClassShares(t *testing.T) {
+	l := NewClassLock()
+	var peak, cur atomic.Int32
+	var threads []*sched.Thread
+	for i := 0; i < 6; i++ {
+		threads = append(threads, sched.Go("fwd", func(self *sched.Thread) {
+			l.Acquire(Forward, self)
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			cur.Add(-1)
+			l.Release(Forward, self)
+		}))
+	}
+	join(t, "same-class holders", threads...)
+	if peak.Load() < 2 {
+		t.Fatalf("peak same-class holders = %d, want >= 2 (classes must share)", peak.Load())
+	}
+}
+
+func TestClassLockClassesExclude(t *testing.T) {
+	l := NewClassLock()
+	var inF, inR atomic.Int32
+	var violations atomic.Int32
+	var threads []*sched.Thread
+	for i := 0; i < 8; i++ {
+		cls := Forward
+		mine, theirs := &inF, &inR
+		if i%2 == 1 {
+			cls = Reverse
+			mine, theirs = &inR, &inF
+		}
+		threads = append(threads, sched.Go("c", func(self *sched.Thread) {
+			for j := 0; j < 300; j++ {
+				l.Acquire(cls, self)
+				mine.Add(1)
+				if theirs.Load() != 0 {
+					violations.Add(1)
+				}
+				mine.Add(-1)
+				l.Release(cls, self)
+			}
+		}))
+	}
+	join(t, "exclusion stress", threads...)
+	if violations.Load() != 0 {
+		t.Fatalf("%d cross-class co-residencies", violations.Load())
+	}
+}
+
+func TestClassLockTryAcquire(t *testing.T) {
+	l := NewClassLock()
+	a, b := sched.New("a"), sched.New("b")
+	if !l.TryAcquire(Forward, a) {
+		t.Fatal("try on free lock failed")
+	}
+	if l.TryAcquire(Reverse, b) {
+		t.Fatal("other class admitted while held")
+	}
+	if !l.TryAcquire(Forward, b) {
+		t.Fatal("same class refused")
+	}
+	if l.Holders(Forward) != 2 {
+		t.Fatalf("holders = %d", l.Holders(Forward))
+	}
+	l.Release(Forward, a)
+	l.Release(Forward, b)
+	if !l.TryAcquire(Reverse, b) {
+		t.Fatal("reverse refused on drained lock")
+	}
+	l.Release(Reverse, b)
+}
+
+func TestClassLockReleaseUnheldPanics(t *testing.T) {
+	l := NewClassLock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	l.Release(Forward, nil)
+}
+
+// TestClassLockAntiStarvation: a continuous forward flood must not starve
+// a reverse requestor — the turn bias queues new forward entrants behind
+// the waiting reverse one.
+func TestClassLockAntiStarvation(t *testing.T) {
+	l := NewClassLock()
+	stop := make(chan struct{})
+	var flood []*sched.Thread
+	for i := 0; i < 4; i++ {
+		flood = append(flood, sched.Go("fwd", func(self *sched.Thread) {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.Acquire(Forward, self)
+				time.Sleep(100 * time.Microsecond)
+				l.Release(Forward, self)
+			}
+		}))
+	}
+	done := make(chan struct{})
+	rev := sched.Go("rev", func(self *sched.Thread) {
+		for i := 0; i < 20; i++ {
+			l.Acquire(Reverse, self)
+			l.Release(Reverse, self)
+		}
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("reverse class starved by forward flood")
+	}
+	close(stop)
+	join(t, "flood", flood...)
+	rev.Join()
+}

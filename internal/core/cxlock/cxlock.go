@@ -1,0 +1,470 @@
+// Package cxlock implements Mach's complex locks: the machine-independent
+// multiple-readers/single-writer locks of Section 4 and Appendix B of the
+// paper, with the Sleep and Recursive protocols as options.
+//
+// The implementation follows the paper's (and Mach kern/lock.c's) design
+// exactly:
+//
+//   - The internal state of every complex lock is protected by a simple
+//     lock (the interlock); this is the only machine dependency.
+//   - Writers have priority: readers are not admitted while a write or
+//     upgrade request is outstanding, guaranteeing writers are not starved.
+//   - An upgrade (ReadToWrite) fails — releasing the caller's read hold —
+//     if another upgrade is already pending, because two upgrades would
+//     deadlock against each other's read holds. Upgrades are favored over
+//     plain writes.
+//   - A downgrade (WriteToRead) can never fail and is the recommended
+//     alternative to upgrading (Section 7.1).
+//   - With the Sleep option a requestor blocks on the lock's event using
+//     the assert_wait/thread_block protocol; without it requestors spin.
+//     Only sleepable locks may be held across blocking operations.
+//   - The Recursive option lets a designated holder re-acquire the lock;
+//     the holder's read requests are not blocked by pending writes or
+//     upgrades, so it can drain its recursion and release (Section 4). The
+//     paper's verdict that recursive locking is a design trap is
+//     reproduced as experiment E11.
+//
+// Lock holders are identified by *sched.Thread where a protocol needs an
+// identity (sleeping, recursion); spin-mode acquisitions may pass nil.
+package cxlock
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"machlock/internal/core/splock"
+	"machlock/internal/sched"
+)
+
+// Stats is a snapshot of a lock's accounting.
+type Stats struct {
+	ReadAcquisitions  int64
+	WriteAcquisitions int64
+	Sleeps            int64 // times a requestor blocked
+	Spins             int64 // spin iterations while waiting
+	Upgrades          int64 // successful read-to-write upgrades
+	FailedUpgrades    int64 // upgrades that failed and released the read lock
+	Downgrades        int64
+}
+
+// Lock is a complex lock (lock_data_t). Create with New or initialize an
+// embedded value with Init; an uninitialized zero value is a valid
+// non-sleepable lock, matching Mach's lock_init(l, FALSE).
+type Lock struct {
+	interlock splock.Lock
+
+	wantWrite   bool
+	wantUpgrade bool
+	waiting     bool
+	canSleep    bool
+	readCount   int32
+
+	// Recursive option state: the designated holder and its depth of
+	// write recursion. holder is set by SetRecursive while write-held.
+	holder *sched.Thread
+	depth  int32
+
+	// Mach25UpgradeBug reproduces the documented Mach 2.5 defect in
+	// lock_try_read_to_write: it "will block even if the Sleep option is
+	// disabled for the lock". Off by default (the correct behaviour).
+	Mach25UpgradeBug bool
+
+	// BusyWait makes non-sleeping waiters burn CPU between attempts
+	// instead of yielding to the Go scheduler, modelling what a real
+	// kernel spin does to a processor. Off by default — yielding keeps
+	// simulations live on small hosts — and enabled by experiment E5 to
+	// measure the cost the Sleep option avoids.
+	BusyWait bool
+
+	stats lockStats
+}
+
+type lockStats struct {
+	reads          atomic.Int64
+	writes         atomic.Int64
+	sleeps         atomic.Int64
+	spins          atomic.Int64
+	upgrades       atomic.Int64
+	failedUpgrades atomic.Int64
+	downgrades     atomic.Int64
+}
+
+// New creates a complex lock; canSleep enables the Sleep option
+// (lock_init).
+func New(canSleep bool) *Lock {
+	l := &Lock{}
+	l.Init(canSleep)
+	return l
+}
+
+// Init initializes an embedded lock value (lock_init). It must not be
+// called on a lock in use.
+func (l *Lock) Init(canSleep bool) {
+	l.canSleep = canSleep
+}
+
+// CanSleep reports whether the Sleep option is enabled.
+func (l *Lock) CanSleep() bool {
+	l.interlock.Lock()
+	defer l.interlock.Unlock()
+	return l.canSleep
+}
+
+// SetSleepable enables or disables the Sleep option (lock_sleepable). The
+// paper: "The Sleep option can be enabled or disabled on a dynamic basis
+// for each lock."
+func (l *Lock) SetSleepable(canSleep bool) {
+	l.interlock.Lock()
+	l.canSleep = canSleep
+	l.interlock.Unlock()
+}
+
+// wait releases the interlock and waits for the lock's state to change,
+// then re-acquires the interlock. With the Sleep option and a thread
+// identity it blocks via the event-wait protocol; otherwise it spins.
+// The caller must hold the interlock and must have set l.waiting when
+// sleeping (done here).
+func (l *Lock) wait(t *sched.Thread) {
+	if l.canSleep && t != nil {
+		l.waiting = true
+		l.stats.sleeps.Add(1)
+		sched.AssertWait(t, sched.Event(l))
+		l.interlock.Unlock()
+		obWaiting(l, t)
+		sched.ThreadBlock(t)
+		obDoneWaiting(l, t)
+	} else {
+		l.stats.spins.Add(1)
+		l.interlock.Unlock()
+		obWaiting(l, t)
+		if l.BusyWait {
+			busyPause()
+		} else {
+			runtime.Gosched()
+		}
+		obDoneWaiting(l, t)
+	}
+	l.interlock.Lock()
+}
+
+// pauseSink defeats dead-code elimination of the busy-wait loop without
+// introducing a data race.
+var pauseSink atomic.Uint64
+
+// busyPause occupies the processor for a short, bounded burst — the
+// simulated cost of one hardware spin window.
+func busyPause() {
+	var x uint64 = 88172645463325252
+	for i := 0; i < 256; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	pauseSink.Store(x)
+}
+
+// busyYield is the polite spin step shared by the package's non-sleeping
+// waiters: give other goroutines the processor between attempts.
+func busyYield() { runtime.Gosched() }
+
+// wakeupLocked wakes lock waiters if any are recorded; interlock held.
+func (l *Lock) wakeupLocked() {
+	if l.waiting {
+		l.waiting = false
+		sched.ThreadWakeup(sched.Event(l))
+	}
+}
+
+// Write acquires the lock for writing (lock_write). If t is the lock's
+// recursive holder, the recursion depth is incremented instead.
+func (l *Lock) Write(t *sched.Thread) {
+	l.interlock.Lock()
+	if t != nil && l.holder == t {
+		if !l.wantWrite && !l.wantUpgrade {
+			// The holder downgraded to a recursive read lock; the
+			// paper: "this downgrade prohibits recursive
+			// acquisitions for write".
+			l.interlock.Unlock()
+			panic("cxlock: recursive write acquisition after downgrade")
+		}
+		// Recursive acquisition by the designated holder.
+		l.depth++
+		l.interlock.Unlock()
+		obAcquired(l, t)
+		return
+	}
+	// Acquire the want_write bit; writers queue behind existing writers.
+	for l.wantWrite {
+		l.wait(t)
+	}
+	l.wantWrite = true
+	// Wait for readers to drain, deferring to any pending upgrade:
+	// upgrades are favored over writes because the upgrader already
+	// holds standing in the lock.
+	for l.readCount != 0 || l.wantUpgrade {
+		l.wait(t)
+	}
+	l.stats.writes.Add(1)
+	l.interlock.Unlock()
+	obAcquired(l, t)
+}
+
+// Read acquires the lock for reading (lock_read). The recursive holder's
+// read requests are not blocked by pending write or upgrade requests; all
+// other readers queue behind them (writer priority).
+func (l *Lock) Read(t *sched.Thread) {
+	l.interlock.Lock()
+	if t != nil && l.holder == t {
+		l.readCount++
+		l.stats.reads.Add(1)
+		l.interlock.Unlock()
+		obAcquired(l, t)
+		return
+	}
+	for l.wantWrite || l.wantUpgrade {
+		l.wait(t)
+	}
+	l.readCount++
+	l.stats.reads.Add(1)
+	l.interlock.Unlock()
+	obAcquired(l, t)
+}
+
+// ReadToWrite upgrades a read hold to a write hold (lock_read_to_write).
+// It returns true if the upgrade FAILED because another upgrade request was
+// outstanding; in that case the caller's read hold has been released and it
+// must restart its operation from scratch — the recovery burden the paper
+// cites as the reason this feature is rarely used. On success (false) the
+// caller holds the lock for writing.
+func (l *Lock) ReadToWrite(t *sched.Thread) bool {
+	l.interlock.Lock()
+	if t != nil && l.holder == t {
+		if !l.wantWrite && !l.wantUpgrade {
+			// "…and upgrades of recursive read acquisitions" are
+			// prohibited after a downgrade. Checked before touching
+			// any state so the caller's holds survive the panic.
+			l.interlock.Unlock()
+			panic("cxlock: upgrade of recursive read acquisition after downgrade")
+		}
+		// The recursive holder already has write standing; fold the
+		// read hold into recursion depth.
+		l.readCount--
+		l.depth++
+		l.interlock.Unlock()
+		return false
+	}
+	l.readCount--
+	if l.wantUpgrade {
+		// Someone else is upgrading: two upgrades deadlock, so this one
+		// fails and its read hold is gone.
+		l.stats.failedUpgrades.Add(1)
+		l.wakeupLocked()
+		l.interlock.Unlock()
+		obReleased(l, t)
+		return true
+	}
+	l.wantUpgrade = true
+	for l.readCount != 0 {
+		l.wait(t)
+	}
+	l.stats.upgrades.Add(1)
+	l.interlock.Unlock()
+	return false
+}
+
+// WriteToRead downgrades a write hold to a read hold (lock_write_to_read).
+// It cannot fail and requires no recovery logic in the caller; the paper
+// recommends write-then-downgrade over read-then-upgrade for exactly this
+// reason.
+func (l *Lock) WriteToRead(t *sched.Thread) {
+	l.interlock.Lock()
+	l.readCount++
+	if t != nil && l.holder == t && l.depth > 0 {
+		l.depth--
+	} else if l.wantUpgrade {
+		l.wantUpgrade = false
+	} else {
+		l.wantWrite = false
+	}
+	l.stats.downgrades.Add(1)
+	l.wakeupLocked()
+	l.interlock.Unlock()
+}
+
+// Done releases a lock held in any mode (lock_done). "A lock can be held
+// either by a single writer or by one or more readers, thus lock_done can
+// always determine how the lock is held and release it appropriately."
+func (l *Lock) Done(t *sched.Thread) {
+	l.interlock.Lock()
+	switch {
+	case l.readCount > 0:
+		l.readCount--
+	case t != nil && l.holder == t && l.depth > 0:
+		l.depth--
+	case l.wantUpgrade:
+		l.wantUpgrade = false
+	case l.wantWrite:
+		l.wantWrite = false
+	default:
+		l.interlock.Unlock()
+		panic("cxlock: lock_done on lock not held")
+	}
+	l.wakeupLocked()
+	l.interlock.Unlock()
+	obReleased(l, t)
+}
+
+// TryRead makes a single attempt to acquire the lock for reading
+// (lock_try_read); it never spins or blocks.
+func (l *Lock) TryRead(t *sched.Thread) bool {
+	l.interlock.Lock()
+	defer l.interlock.Unlock()
+	if t != nil && l.holder == t {
+		l.readCount++
+		l.stats.reads.Add(1)
+		defer obAcquired(l, t)
+		return true
+	}
+	if l.wantWrite || l.wantUpgrade {
+		return false
+	}
+	l.readCount++
+	l.stats.reads.Add(1)
+	defer obAcquired(l, t)
+	return true
+}
+
+// TryWrite makes a single attempt to acquire the lock for writing
+// (lock_try_write); it never spins or blocks. In particular it returns
+// false if the lock is currently held for writing.
+func (l *Lock) TryWrite(t *sched.Thread) bool {
+	l.interlock.Lock()
+	defer l.interlock.Unlock()
+	if t != nil && l.holder == t {
+		if !l.wantWrite && !l.wantUpgrade {
+			return false // downgraded holder may not re-acquire for write
+		}
+		l.depth++
+		defer obAcquired(l, t)
+		return true
+	}
+	if l.wantWrite || l.wantUpgrade || l.readCount != 0 {
+		return false
+	}
+	l.wantWrite = true
+	l.stats.writes.Add(1)
+	defer obAcquired(l, t)
+	return true
+}
+
+// TryReadToWrite attempts to upgrade a read hold to a write hold
+// (lock_try_read_to_write). Unlike ReadToWrite it does NOT drop the read
+// lock if the upgrade would deadlock: if another upgrade is pending it
+// returns false with the read hold intact. If the upgrade can proceed it
+// may wait for other readers to drain — by spinning if the Sleep option is
+// off, or by blocking if it is on. (With Mach25UpgradeBug set, it blocks
+// regardless of the Sleep option, reproducing the documented Mach 2.5
+// defect; the paper notes the bug likely survived because no Mach kernel
+// used this routine.)
+func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
+	l.interlock.Lock()
+	if t != nil && l.holder == t {
+		if !l.wantWrite && !l.wantUpgrade {
+			l.interlock.Unlock()
+			return false // downgraded holder may not upgrade
+		}
+		l.readCount--
+		l.depth++
+		l.interlock.Unlock()
+		return true
+	}
+	if l.wantUpgrade {
+		l.interlock.Unlock()
+		return false
+	}
+	l.readCount--
+	l.wantUpgrade = true
+	for l.readCount != 0 {
+		if l.Mach25UpgradeBug && t != nil {
+			// Mach 2.5: blocks even when the lock is not sleepable.
+			l.waiting = true
+			l.stats.sleeps.Add(1)
+			sched.AssertWait(t, sched.Event(l))
+			l.interlock.Unlock()
+			sched.ThreadBlock(t)
+			l.interlock.Lock()
+		} else {
+			l.wait(t)
+		}
+	}
+	l.stats.upgrades.Add(1)
+	l.interlock.Unlock()
+	return true
+}
+
+// SetRecursive enables the Recursive option for the calling thread
+// (lock_set_recursive). The lock must be held for writing by t. While
+// recursive, t's re-acquisitions succeed immediately and its read requests
+// bypass pending writers.
+func (l *Lock) SetRecursive(t *sched.Thread) {
+	if t == nil {
+		panic("cxlock: SetRecursive requires a thread identity")
+	}
+	l.interlock.Lock()
+	defer l.interlock.Unlock()
+	if !l.wantWrite && !l.wantUpgrade {
+		panic("cxlock: SetRecursive on lock not held for write")
+	}
+	if l.holder != nil && l.holder != t {
+		panic("cxlock: SetRecursive while another thread is the recursive holder")
+	}
+	l.holder = t
+}
+
+// ClearRecursive clears the Recursive option (lock_clear_recursive). It
+// must be called by the recursive holder, with no outstanding recursive
+// acquisitions, before the final release.
+func (l *Lock) ClearRecursive(t *sched.Thread) {
+	l.interlock.Lock()
+	defer l.interlock.Unlock()
+	if l.holder != t {
+		panic("cxlock: ClearRecursive by non-holder")
+	}
+	if l.depth != 0 {
+		panic("cxlock: ClearRecursive with recursive acquisitions outstanding")
+	}
+	l.holder = nil
+}
+
+// RecursiveHolder returns the current recursive holder, or nil.
+func (l *Lock) RecursiveHolder() *sched.Thread {
+	l.interlock.Lock()
+	defer l.interlock.Unlock()
+	return l.holder
+}
+
+// HeldForWrite reports whether the lock is currently held for writing.
+// Advisory; for assertions only.
+func (l *Lock) HeldForWrite() bool {
+	l.interlock.Lock()
+	defer l.interlock.Unlock()
+	return (l.wantWrite || l.wantUpgrade) && l.readCount == 0
+}
+
+// Readers returns the current read-hold count. Advisory.
+func (l *Lock) Readers() int {
+	l.interlock.Lock()
+	defer l.interlock.Unlock()
+	return int(l.readCount)
+}
+
+// Stats returns a snapshot of the lock's accounting.
+func (l *Lock) Stats() Stats {
+	return Stats{
+		ReadAcquisitions:  l.stats.reads.Load(),
+		WriteAcquisitions: l.stats.writes.Load(),
+		Sleeps:            l.stats.sleeps.Load(),
+		Spins:             l.stats.spins.Load(),
+		Upgrades:          l.stats.upgrades.Load(),
+		FailedUpgrades:    l.stats.failedUpgrades.Load(),
+		Downgrades:        l.stats.downgrades.Load(),
+	}
+}

@@ -1,0 +1,76 @@
+package cxlock
+
+import (
+	"sync/atomic"
+
+	"machlock/internal/sched"
+)
+
+// Observer receives lock-event callbacks for debugging tools (the
+// wait-for-graph deadlock detector in internal/deadlock). Callbacks are
+// invoked outside the lock's interlock with a non-nil thread identity;
+// anonymous (nil-thread) acquisitions are invisible to observers.
+//
+// Semantics are a per-(thread, lock) hold multiset: Acquired adds one
+// hold, Released removes one. Upgrades and downgrades do not change the
+// hold count (one hold changes mode). Waiting/DoneWaiting bracket a
+// thread's wait for the lock.
+type Observer interface {
+	Acquired(l *Lock, t *sched.Thread)
+	Released(l *Lock, t *sched.Thread)
+	Waiting(l *Lock, t *sched.Thread)
+	DoneWaiting(l *Lock, t *sched.Thread)
+}
+
+// observer is the registered global observer; nil means tracking is off
+// (the default — observation costs one atomic load per operation).
+var observer atomic.Pointer[observerBox]
+
+type observerBox struct{ o Observer }
+
+// SetObserver installs (or, with nil, removes) the global lock observer.
+// Install before the locks being observed are in use; events from
+// operations already in flight may be missed.
+func SetObserver(o Observer) {
+	if o == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&observerBox{o: o})
+}
+
+func obAcquired(l *Lock, t *sched.Thread) {
+	if t == nil {
+		return
+	}
+	if b := observer.Load(); b != nil {
+		b.o.Acquired(l, t)
+	}
+}
+
+func obReleased(l *Lock, t *sched.Thread) {
+	if t == nil {
+		return
+	}
+	if b := observer.Load(); b != nil {
+		b.o.Released(l, t)
+	}
+}
+
+func obWaiting(l *Lock, t *sched.Thread) {
+	if t == nil {
+		return
+	}
+	if b := observer.Load(); b != nil {
+		b.o.Waiting(l, t)
+	}
+}
+
+func obDoneWaiting(l *Lock, t *sched.Thread) {
+	if t == nil {
+		return
+	}
+	if b := observer.Load(); b != nil {
+		b.o.DoneWaiting(l, t)
+	}
+}

@@ -1,0 +1,99 @@
+// Package refcount implements the existence-coordination half of the
+// paper (Sections 2 and 8): reference counts that guarantee a data
+// structure exists whenever any processor could dereference a pointer to
+// it.
+//
+// The protocol, exactly as the paper states it:
+//
+//   - An object is created with a single reference held by its creator.
+//   - New references are obtained only by cloning an existing one while
+//     holding the object's lock (or another guarantee that the original
+//     cannot vanish mid-clone); cloning never blocks, so it may be done
+//     while holding other locks.
+//   - Releasing a reference may destroy the object — which frees storage
+//     and may block — so it may NOT be done while holding any non-sleep
+//     lock, nor between an assert_wait and its thread_block.
+//   - When the count reaches zero there are no operations in progress, no
+//     pointers, and no way to invoke new operations, so the object and its
+//     data structure are destroyed.
+//
+// Count is the basic lock-protected count; Atomic is a lock-free variant
+// provided for the E6 comparison with modern practice ("Reference counts
+// may be best done by putting a mutex around an integer variable" is
+// exactly how Mach does it; the paper predates ubiquitous atomic RMW
+// refcounts).
+package refcount
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Count is a reference count protected by its object's lock: every method
+// must be called with that lock held (the package cannot check this itself;
+// object.Object wires the check up). The zero value is a dead count; use
+// Init.
+type Count struct {
+	n int32
+}
+
+// Init sets the count to n references (normally 1: the creator's).
+func (c *Count) Init(n int32) {
+	if n < 0 {
+		panic("refcount: negative initial count")
+	}
+	c.n = n
+}
+
+// Refs returns the current count.
+func (c *Count) Refs() int32 { return c.n }
+
+// Clone acquires an additional reference by cloning an existing one. The
+// caller must hold the object's lock and must itself hold a reference —
+// cloning a dead (zero) count is the use-after-free the whole protocol
+// exists to prevent, and panics.
+func (c *Count) Clone() {
+	if c.n <= 0 {
+		panic(fmt.Sprintf("refcount: cloning a dead reference (count %d)", c.n))
+	}
+	c.n++
+}
+
+// Release drops one reference, returning true when the count reaches zero
+// and the caller must destroy the object. Over-release panics.
+func (c *Count) Release() bool {
+	if c.n <= 0 {
+		panic(fmt.Sprintf("refcount: releasing unheld reference (count %d)", c.n))
+	}
+	c.n--
+	return c.n == 0
+}
+
+// Atomic is a lock-free reference count over hardware atomics — the modern
+// alternative Mach could not assume in 1991. Used by experiment E6 to
+// quantify what the lock-protected discipline costs.
+type Atomic struct {
+	n atomic.Int32
+}
+
+// Init sets the count.
+func (a *Atomic) Init(n int32) { a.n.Store(n) }
+
+// Refs returns the current count.
+func (a *Atomic) Refs() int32 { return a.n.Load() }
+
+// Clone increments the count, panicking if it observes a dead count.
+func (a *Atomic) Clone() {
+	if a.n.Add(1) <= 1 {
+		panic("refcount: cloning a dead reference (atomic)")
+	}
+}
+
+// Release decrements, returning true at zero.
+func (a *Atomic) Release() bool {
+	n := a.n.Add(-1)
+	if n < 0 {
+		panic("refcount: releasing unheld reference (atomic)")
+	}
+	return n == 0
+}

@@ -1,0 +1,161 @@
+package refcount
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountLifecycle(t *testing.T) {
+	var c Count
+	c.Init(1)
+	if c.Refs() != 1 {
+		t.Fatalf("refs = %d, want 1", c.Refs())
+	}
+	c.Clone()
+	c.Clone()
+	if c.Refs() != 3 {
+		t.Fatalf("refs = %d, want 3", c.Refs())
+	}
+	if c.Release() {
+		t.Fatal("release at 3 reported zero")
+	}
+	if c.Release() {
+		t.Fatal("release at 2 reported zero")
+	}
+	if !c.Release() {
+		t.Fatal("final release did not report zero")
+	}
+}
+
+func TestCloneDeadPanics(t *testing.T) {
+	var c Count
+	c.Init(1)
+	c.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cloning dead count did not panic")
+		}
+	}()
+	c.Clone()
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	var c Count
+	c.Init(1)
+	c.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	c.Release()
+}
+
+func TestNegativeInitPanics(t *testing.T) {
+	var c Count
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative init did not panic")
+		}
+	}()
+	c.Init(-1)
+}
+
+func TestAtomicLifecycle(t *testing.T) {
+	var a Atomic
+	a.Init(1)
+	a.Clone()
+	if a.Refs() != 2 {
+		t.Fatalf("refs = %d, want 2", a.Refs())
+	}
+	if a.Release() {
+		t.Fatal("early release reported zero")
+	}
+	if !a.Release() {
+		t.Fatal("final release did not report zero")
+	}
+}
+
+func TestAtomicConcurrentCloneRelease(t *testing.T) {
+	var a Atomic
+	a.Init(1)
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				a.Clone()
+				if a.Release() {
+					t.Error("count hit zero while creator ref held")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Refs() != 1 {
+		t.Fatalf("refs = %d, want 1", a.Refs())
+	}
+	if !a.Release() {
+		t.Fatal("creator release did not reach zero")
+	}
+}
+
+func TestAtomicOverReleasePanics(t *testing.T) {
+	var a Atomic
+	a.Init(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("atomic over-release did not panic")
+		}
+	}()
+	a.Release()
+}
+
+func TestAtomicCloneDeadPanics(t *testing.T) {
+	var a Atomic
+	a.Init(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("atomic clone-dead did not panic")
+		}
+	}()
+	a.Clone()
+}
+
+// Property: for any sequence of clones and releases that never over-
+// releases, the count equals init + clones - releases and reaches zero
+// exactly when they balance.
+func TestCountBalanceQuick(t *testing.T) {
+	f := func(ops []bool) bool {
+		var c Count
+		c.Init(1)
+		live := int32(1)
+		for _, clone := range ops {
+			if clone {
+				c.Clone()
+				live++
+			} else if live > 1 {
+				if c.Release() {
+					return false // hit zero with refs outstanding
+				}
+				live--
+			}
+		}
+		if c.Refs() != live {
+			return false
+		}
+		for live > 1 {
+			if c.Release() {
+				return false
+			}
+			live--
+		}
+		return c.Release()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package splock
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// The paper observes that "each kernel subsystem that uses locks must
+// incorporate usage conventions that prevent deadlock" — typically ordering
+// lock acquisitions by object type, and by address within a type. Hierarchy
+// is a runtime checker for such conventions: locks are assigned ranks
+// (lower rank = acquired earlier), and acquiring a lock whose rank is not
+// strictly greater than every rank already held is reported as an ordering
+// violation.
+//
+// The checker is advisory by design: Mach's locking model explicitly
+// permits protocols that escape a single hierarchy (the pmap system lock,
+// backout protocols), so violations are recorded and optionally fatal
+// rather than unconditionally fatal.
+
+// RankTracker is the per-thread state the hierarchy checker needs;
+// *sched.Thread implements it.
+type RankTracker interface {
+	PushRank(rank int)
+	PopRank(rank int)
+	HeldRanks() []int
+	Name() string
+}
+
+// Hierarchy checks lock-ordering conventions at runtime.
+type Hierarchy struct {
+	// Fatal makes ordering violations panic instead of being counted.
+	Fatal bool
+
+	violations atomic.Int64
+	lastReport atomic.Value // string
+}
+
+// NewHierarchy creates a checker; if fatal, violations panic.
+func NewHierarchy(fatal bool) *Hierarchy {
+	return &Hierarchy{Fatal: fatal}
+}
+
+// OrderedLock is a checked lock with an ordering rank registered in a
+// hierarchy. Two locks of the same type share a rank; the paper's
+// "order by address" refinement is expressed by giving such locks the same
+// rank and acquiring them via LockPair.
+type OrderedLock struct {
+	Checked
+	h    *Hierarchy
+	rank int
+}
+
+// NewOrdered creates a checked lock with the given name and rank in h.
+func (h *Hierarchy) NewOrdered(name string, rank int) *OrderedLock {
+	l := &OrderedLock{h: h, rank: rank}
+	l.Checked.name = name
+	return l
+}
+
+// Rank returns the lock's ordering rank.
+func (l *OrderedLock) Rank() int { return l.rank }
+
+// Lock acquires the lock for t, checking rank order against t's held locks.
+func (l *OrderedLock) Lock(t RankTracker) {
+	l.h.checkOrder(t, l)
+	l.Checked.Lock(t.(Holder))
+	t.PushRank(l.rank)
+}
+
+// TryLock attempts the lock for t; a successful try still records the rank
+// but never reports a violation — single attempts are precisely how code
+// legitimately acquires locks against the usual order (the backout
+// protocol of Section 5).
+func (l *OrderedLock) TryLock(t RankTracker) bool {
+	if !l.Checked.TryLock(t.(Holder)) {
+		return false
+	}
+	t.PushRank(l.rank)
+	return true
+}
+
+// Unlock releases the lock for t.
+func (l *OrderedLock) Unlock(t RankTracker) {
+	t.PopRank(l.rank)
+	l.Checked.Unlock(t.(Holder))
+}
+
+func (h *Hierarchy) checkOrder(t RankTracker, l *OrderedLock) {
+	for _, held := range t.HeldRanks() {
+		if held >= l.rank {
+			msg := fmt.Sprintf(
+				"splock: ordering violation: %s acquiring %q (rank %d) while holding rank %d",
+				t.Name(), l.Name(), l.rank, held)
+			h.violations.Add(1)
+			h.lastReport.Store(msg)
+			if h.Fatal {
+				panic(msg)
+			}
+			return
+		}
+	}
+}
+
+// Violations returns the number of ordering violations observed.
+func (h *Hierarchy) Violations() int64 { return h.violations.Load() }
+
+// LastViolation returns the most recent violation report, or "".
+func (h *Hierarchy) LastViolation() string {
+	if s, ok := h.lastReport.Load().(string); ok {
+		return s
+	}
+	return ""
+}
+
+// LockPair acquires two same-rank locks in address order, the paper's
+// convention for locking two objects of the same type: "If two objects of
+// the same type must be locked, the acquisitions can be ordered by
+// address." The locks must share a rank. Unlock them individually.
+func LockPair(t RankTracker, a, b *OrderedLock) {
+	if a == b {
+		panic("splock: LockPair with identical locks")
+	}
+	if a.rank != b.rank {
+		panic("splock: LockPair with different ranks")
+	}
+	if fmt.Sprintf("%p", a) > fmt.Sprintf("%p", b) {
+		a, b = b, a
+	}
+	a.h.checkOrder(t, a)
+	a.Checked.Lock(t.(Holder))
+	b.Checked.Lock(t.(Holder))
+	t.PushRank(a.rank)
+	t.PushRank(b.rank)
+}

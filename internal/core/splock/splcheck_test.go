@@ -1,0 +1,128 @@
+package splock
+
+import (
+	"strings"
+	"testing"
+
+	"machlock/internal/hw"
+)
+
+func TestSPLLockBindsToFirstAcquisition(t *testing.T) {
+	m := hw.New(2)
+	l := NewSPL(m, TASTTAS)
+	c := m.CPU(0)
+
+	c.SetSPL(hw.SPLVM)
+	l.Lock(c)
+	l.Unlock(c)
+	if level, bound := l.Level(); !bound || level != hw.SPLVM {
+		t.Fatalf("bound level = %v %v, want splvm", level, bound)
+	}
+	// Same level again: fine.
+	l.Lock(c)
+	l.Unlock(c)
+	if l.Violations() != 0 {
+		t.Fatalf("violations = %d", l.Violations())
+	}
+}
+
+func TestSPLLockDetectsInconsistentLevel(t *testing.T) {
+	// The exact §7 scenario precursor: one CPU takes the lock with
+	// interrupts enabled, another with them disabled.
+	m := hw.New(2)
+	l := NewSPL(m, TASTTAS)
+	p1, p2 := m.CPU(0), m.CPU(1)
+
+	l.Lock(p1) // binds to spl0: "processor 1 has the lock with interrupts enabled"
+	l.Unlock(p1)
+
+	p2.SetSPL(hw.SPLVM) // "processor 2 has disabled interrupts"
+	l.Lock(p2)
+	l.Unlock(p2)
+	if l.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1", l.Violations())
+	}
+	if !strings.Contains(l.LastViolation(), "splvm") {
+		t.Fatalf("report = %q", l.LastViolation())
+	}
+}
+
+func TestSPLLockExplicitBind(t *testing.T) {
+	m := hw.New(1)
+	l := NewSPL(m, TTAS)
+	l.Bind(hw.SPLVM)
+	c := m.CPU(0)
+	l.Lock(c) // at spl0 against a splvm-bound lock: violation
+	l.Unlock(c)
+	if l.Violations() == 0 {
+		t.Fatal("acquisition below bound level not detected")
+	}
+}
+
+func TestSPLLockRebindPanics(t *testing.T) {
+	m := hw.New(1)
+	l := NewSPL(m, TTAS)
+	l.Bind(hw.SPLVM)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rebinding did not panic")
+		}
+	}()
+	l.Bind(hw.SPLCLOCK)
+}
+
+func TestSPLLockHeldAtLevelOrHigher(t *testing.T) {
+	// "Increasing interrupt priority with increasing call depth is always
+	// safe so long as the priority is consistent for each lock": raising
+	// while held is fine, lowering below the lock's level is not.
+	m := hw.New(1)
+	l := NewSPL(m, TTAS)
+	c := m.CPU(0)
+	c.SetSPL(hw.SPLVM)
+	l.Lock(c)
+	c.SetSPL(hw.SPLCLOCK) // raise: allowed
+	c.SetSPL(hw.SPLVM)    // back to the lock's level: allowed
+	l.Unlock(c)
+	if l.Violations() != 0 {
+		t.Fatalf("raising while held counted as violation: %d", l.Violations())
+	}
+
+	c.SetSPL(hw.SPLVM)
+	l.Lock(c)
+	c.SetSPL(hw.SPL0) // lower below the lock's level while held
+	l.Unlock(c)
+	if l.Violations() != 1 {
+		t.Fatalf("lowering while held not detected: %d", l.Violations())
+	}
+	c.SetSPL(hw.SPL0)
+}
+
+func TestSPLLockFatalPanics(t *testing.T) {
+	m := hw.New(1)
+	l := NewSPL(m, TTAS)
+	l.Fatal = true
+	l.Bind(hw.SPLVM)
+	c := m.CPU(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fatal violation did not panic")
+		}
+	}()
+	l.Lock(c)
+}
+
+func TestSPLLockTryLock(t *testing.T) {
+	m := hw.New(2)
+	l := NewSPL(m, TTAS)
+	a, b := m.CPU(0), m.CPU(1)
+	if !l.TryLock(a) {
+		t.Fatal("try on free lock failed")
+	}
+	if l.TryLock(b) {
+		t.Fatal("try on held lock succeeded")
+	}
+	l.Unlock(a)
+	if l.Stats().Acquisitions != 1 {
+		t.Fatalf("acquisitions = %d", l.Stats().Acquisitions)
+	}
+}

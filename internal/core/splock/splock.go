@@ -1,0 +1,337 @@
+// Package splock implements Mach's simple locks: spinning (non-blocking)
+// mutual exclusion locks, the machine-dependent foundation on which every
+// other locking protocol in the kernel is built (paper Section 4 and
+// Appendix A).
+//
+// Three implementations are provided:
+//
+//   - Lock: the production lock over Go's native atomics. Its acquisition
+//     sequence is the paper's refined policy — one test-and-set attempt
+//     first, falling back to test-and-test-and-set spinning — because "most
+//     locks in a well designed system are acquired on the first attempt".
+//   - SimLock: the instrumented lock over a simulated hw.Cell, available in
+//     all three acquisition policies (TAS, TTAS, TASTTAS) so experiment E1
+//     can count the interconnect traffic each generates.
+//   - Noop: the uniprocessor variant. Mach declares simple locks through a
+//     macro precisely so they can be compiled out of uniprocessor kernels;
+//     Noop is that compile-out, usable anywhere a Mutex is.
+//
+// A Checked wrapper adds the debugging discipline the paper alludes to
+// ("a structure to allow the simple addition of debugging and statistics
+// information"): holder tracking, double-acquire/release detection, and
+// integration with sched's you-may-not-block-holding-a-spin-lock rule.
+//
+// Simple locks may not be held across blocking operations or context
+// switches; the paper calls violations of this restriction fatal. The
+// enforcement lives in sched.ThreadBlock and fires for Checked locks.
+package splock
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"machlock/internal/hw"
+)
+
+// Mutex is the machine-independent simple lock interface (Appendix A):
+// Lock spins until acquired, Unlock releases, TryLock makes a single
+// attempt. The zero value of every implementation is an unlocked lock,
+// mirroring simple_lock_init.
+type Mutex interface {
+	Lock()
+	Unlock()
+	TryLock() bool
+}
+
+// Lock is the production simple lock: a word-sized spin lock over native
+// atomics. The zero value is unlocked. Spinners yield the processor
+// between test iterations so the simulation remains live on few host cores;
+// this stands in for the hardware backoff a real kernel spin performs.
+type Lock struct {
+	state int32
+}
+
+var _ Mutex = (*Lock)(nil)
+
+// Lock acquires the lock, spinning until it is available (simple_lock).
+// The first attempt is an unconditional test-and-set; only if that fails
+// does the acquirer fall back to test-and-test-and-set spinning.
+func (l *Lock) Lock() {
+	if atomic.CompareAndSwapInt32(&l.state, 0, 1) {
+		return
+	}
+	for {
+		if atomic.LoadInt32(&l.state) == 0 &&
+			atomic.CompareAndSwapInt32(&l.state, 0, 1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock (simple_unlock). Unlocking an unlocked lock
+// panics: it always indicates a protocol error.
+func (l *Lock) Unlock() {
+	if atomic.SwapInt32(&l.state, 0) != 1 {
+		panic("splock: unlock of unlocked simple lock")
+	}
+}
+
+// TryLock makes a single attempt to acquire the lock (simple_lock_try),
+// returning true on success. The paper notes it is "useful for attempting
+// to acquire a lock in situations where the unconditional acquisition of
+// the lock could cause deadlock" — the backout protocols of Section 5.
+func (l *Lock) TryLock() bool {
+	return atomic.CompareAndSwapInt32(&l.state, 0, 1)
+}
+
+// Locked reports whether the lock is currently held. Useful only for
+// assertions; the answer may be stale by the time it is returned.
+func (l *Lock) Locked() bool {
+	return atomic.LoadInt32(&l.state) != 0
+}
+
+// Noop is the uniprocessor simple lock: all operations are no-ops, the
+// moral equivalent of Mach defining simple locks out of uniprocessor
+// kernels via decl_simple_lock_data. Use it (through the Mutex interface)
+// to measure the cost the declaration-macro design avoids (experiment E12).
+type Noop struct{}
+
+var _ Mutex = Noop{}
+
+// Lock is a no-op.
+func (Noop) Lock() {}
+
+// Unlock is a no-op.
+func (Noop) Unlock() {}
+
+// TryLock always succeeds.
+func (Noop) TryLock() bool { return true }
+
+// Policy selects a spin-lock acquisition algorithm for SimLock.
+type Policy int
+
+const (
+	// TAS spins directly on the atomic test-and-set instruction. Every
+	// spin iteration is a read-modify-write that steals exclusive
+	// ownership of the lock's cache line, so contended spinning floods
+	// the interconnect.
+	TAS Policy = iota
+	// TTAS (test-and-test-and-set) spins on an ordinary load — a cache
+	// hit once the line is filled Shared — and attempts the atomic
+	// operation only when the lock is observed free.
+	TTAS
+	// TASTTAS makes one test-and-set attempt first and falls back to
+	// TTAS spinning only on failure: best of both when most locks are
+	// acquired on the first attempt, as the paper assumes of a well
+	// designed system.
+	TASTTAS
+	// TCLEAR is the test-and-clear encoding the paper attributes to
+	// Precision Architecture ("swap 0 and 1 for a test and clear lock"):
+	// the unlocked state is 1, acquisition swaps in 0 and succeeds on
+	// reading back nonzero, release stores 1. Coherence behaviour is
+	// identical to TAS — "the basic concept is that of an atomic
+	// operation that sets the lock to a known state and returns its old
+	// value."
+	TCLEAR
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case TAS:
+		return "tas"
+	case TTAS:
+		return "ttas"
+	case TASTTAS:
+		return "tas+ttas"
+	case TCLEAR:
+		return "test-and-clear"
+	default:
+		return "policy(?)"
+	}
+}
+
+// SimStats is a snapshot of a SimLock's accounting.
+type SimStats struct {
+	Acquisitions int64 // successful Lock/TryLock acquisitions
+	FirstTry     int64 // acquisitions that succeeded on the first attempt
+	SpinLoops    int64 // spin iterations executed while waiting
+}
+
+// SimLock is a simple lock over a simulated hw.Cell, parameterized by
+// acquisition policy. All operations name the simulated CPU performing
+// them; spin loops checkpoint that CPU so pending interrupts are taken
+// while spinning with interrupts enabled — exactly the behaviour the
+// Section 7 deadlock analysis depends on.
+type SimLock struct {
+	cell   *hw.Cell
+	policy Policy
+
+	acquisitions atomic.Int64
+	firstTry     atomic.Int64
+	spinLoops    atomic.Int64
+}
+
+// NewSim creates an unlocked simulated simple lock on machine m with the
+// given acquisition policy. The unlocked encoding is policy-specific:
+// 0 for the set-style locks, 1 for test-and-clear.
+func NewSim(m *hw.Machine, p Policy) *SimLock {
+	initial := int64(0)
+	if p == TCLEAR {
+		initial = 1
+	}
+	return &SimLock{cell: m.NewCell(initial), policy: p}
+}
+
+// Policy returns the lock's acquisition policy.
+func (l *SimLock) Policy() Policy { return l.policy }
+
+// Lock acquires the lock from the given CPU, spinning per the policy.
+func (l *SimLock) Lock(c *hw.CPU) {
+	switch l.policy {
+	case TAS:
+		if l.cell.Swap(c, 1) == 0 {
+			l.acquired(true)
+			return
+		}
+		for {
+			l.spin(c)
+			if l.cell.Swap(c, 1) == 0 {
+				l.acquired(false)
+				return
+			}
+		}
+	case TTAS:
+		first := true
+		for {
+			for l.cell.Load(c) != 0 {
+				first = false
+				l.spin(c)
+			}
+			if l.cell.Swap(c, 1) == 0 {
+				l.acquired(first)
+				return
+			}
+			first = false
+		}
+	case TCLEAR:
+		if l.cell.Swap(c, 0) != 0 {
+			l.acquired(true)
+			return
+		}
+		for {
+			l.spin(c)
+			if l.cell.Swap(c, 0) != 0 {
+				l.acquired(false)
+				return
+			}
+		}
+	default: // TASTTAS
+		if l.cell.Swap(c, 1) == 0 {
+			l.acquired(true)
+			return
+		}
+		for {
+			for l.cell.Load(c) != 0 {
+				l.spin(c)
+			}
+			if l.cell.Swap(c, 1) == 0 {
+				l.acquired(false)
+				return
+			}
+		}
+	}
+}
+
+// Unlock releases the lock from the given CPU.
+func (l *SimLock) Unlock(c *hw.CPU) {
+	if l.policy == TCLEAR {
+		if l.cell.Swap(c, 1) != 0 {
+			panic("splock: unlock of unlocked simulated lock")
+		}
+		return
+	}
+	if l.cell.Swap(c, 0) != 1 {
+		panic("splock: unlock of unlocked simulated lock")
+	}
+}
+
+// TryLock makes a single atomic attempt from the given CPU.
+func (l *SimLock) TryLock(c *hw.CPU) bool {
+	if l.policy == TCLEAR {
+		if l.cell.Swap(c, 0) != 0 {
+			l.acquired(true)
+			return true
+		}
+		return false
+	}
+	if l.cell.Swap(c, 1) == 0 {
+		l.acquired(true)
+		return true
+	}
+	return false
+}
+
+// SpinOnce performs exactly one spin iteration of the lock's policy from
+// the given CPU, returning true if the lock was acquired. It exists so
+// experiments can drive spin phases deterministically (fixed iteration
+// counts) instead of depending on host scheduling: one TAS iteration is an
+// atomic attempt; one TTAS iteration is a cached test, escalating to the
+// atomic attempt only when the lock was observed free.
+func (l *SimLock) SpinOnce(c *hw.CPU) bool {
+	switch l.policy {
+	case TAS:
+		if l.cell.Swap(c, 1) == 0 {
+			l.acquired(false)
+			return true
+		}
+		l.spinLoops.Add(1)
+		return false
+	case TCLEAR:
+		if l.cell.Swap(c, 0) != 0 {
+			l.acquired(false)
+			return true
+		}
+		l.spinLoops.Add(1)
+		return false
+	default: // TTAS, TASTTAS: in the spin phase both test before setting
+		if l.cell.Load(c) != 0 {
+			l.spinLoops.Add(1)
+			return false
+		}
+		if l.cell.Swap(c, 1) == 0 {
+			l.acquired(false)
+			return true
+		}
+		l.spinLoops.Add(1)
+		return false
+	}
+}
+
+// spin accounts one spin iteration and lets the CPU take interrupts, then
+// yields so other simulated CPUs can run on few host cores.
+func (l *SimLock) spin(c *hw.CPU) {
+	l.spinLoops.Add(1)
+	c.Checkpoint()
+	runtime.Gosched()
+}
+
+func (l *SimLock) acquired(first bool) {
+	l.acquisitions.Add(1)
+	if first {
+		l.firstTry.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the lock's accounting.
+func (l *SimLock) Stats() SimStats {
+	return SimStats{
+		Acquisitions: l.acquisitions.Load(),
+		FirstTry:     l.firstTry.Load(),
+		SpinLoops:    l.spinLoops.Load(),
+	}
+}
+
+// CellStats returns the underlying cell's coherence accounting.
+func (l *SimLock) CellStats() hw.CellStats { return l.cell.Stats() }

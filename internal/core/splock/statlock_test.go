@@ -1,0 +1,80 @@
+package splock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStatLockBasics(t *testing.T) {
+	l := NewStat("vm_map")
+	if l.Name() != "vm_map" {
+		t.Fatalf("name = %q", l.Name())
+	}
+	l.Lock()
+	time.Sleep(time.Millisecond)
+	l.Unlock()
+	r := l.Report()
+	if r.Acquisitions != 1 || r.Contended != 0 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.MeanHoldNs < float64(500*time.Microsecond) {
+		t.Fatalf("hold time not recorded: %+v", r)
+	}
+}
+
+func TestStatLockTryLock(t *testing.T) {
+	l := NewStat("x")
+	if !l.TryLock() {
+		t.Fatal("try failed on free lock")
+	}
+	if l.TryLock() {
+		t.Fatal("try succeeded on held lock")
+	}
+	l.Unlock()
+	if l.Report().Acquisitions != 1 {
+		t.Fatalf("acquisitions = %d", l.Report().Acquisitions)
+	}
+}
+
+func TestStatLockContentionAccounting(t *testing.T) {
+	l := NewStat("hot")
+	const workers, iters = 4, 500
+	var wg sync.WaitGroup
+	counter := 0
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d (exclusion broken)", counter)
+	}
+	r := l.Report()
+	if r.Acquisitions != workers*iters {
+		t.Fatalf("acquisitions = %d", r.Acquisitions)
+	}
+	if r.ContentionRate < 0 || r.ContentionRate > 1 {
+		t.Fatalf("contention rate = %f", r.ContentionRate)
+	}
+	if r.Contended > 0 && r.MaxWaitNs == 0 {
+		t.Fatal("contended but no wait time recorded")
+	}
+}
+
+func TestStatLockSatisfiesMutex(t *testing.T) {
+	var m Mutex = NewStat("iface")
+	m.Lock()
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock failed")
+	}
+	m.Unlock()
+}

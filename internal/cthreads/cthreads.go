@@ -1,0 +1,162 @@
+// Package cthreads implements the C Threads synchronization interface
+// (Cooper & Draves, CMU-CS-88-154) that the paper's Appendix A points to
+// as the user-level home of simple-lock functionality: "Similar
+// functionality is available in most libraries that support multithreaded
+// applications (e.g., the mutex functionality in the C threads library)."
+//
+// It is built entirely on the kernel primitives this repository
+// reproduces — spin locks for the fast path and the assert_wait/
+// thread_block protocol for blocking — and therefore doubles as an
+// integration test of those primitives in their historically real client.
+//
+//	mu := cthreads.NewMutex()
+//	cond := cthreads.NewCondition()
+//	mu.Lock(self)
+//	for !ready {
+//	    cond.Wait(self, mu) // atomically unlock + wait + relock
+//	}
+//	mu.Unlock(self)
+package cthreads
+
+import (
+	"sync/atomic"
+
+	"machlock/internal/core/splock"
+	"machlock/internal/sched"
+)
+
+// Mutex is a blocking mutual exclusion lock in the C Threads style: a
+// spin-lock-protected state word plus a wait queue. Uncontended
+// acquisition is one atomic operation; contended acquirers block via the
+// event-wait protocol rather than spinning (these are user-level threads
+// that may hold the mutex across arbitrary code).
+type Mutex struct {
+	interlock splock.Lock
+	held      bool
+	waiters   int
+
+	contentions atomic.Int64
+}
+
+// NewMutex creates an unlocked mutex.
+func NewMutex() *Mutex { return &Mutex{} }
+
+// Lock acquires the mutex for t, blocking while it is held.
+func (m *Mutex) Lock(t *sched.Thread) {
+	m.interlock.Lock()
+	for m.held {
+		m.contentions.Add(1)
+		m.waiters++
+		// The split protocol: declare, release the interlock, block.
+		sched.AssertWait(t, sched.Event(m))
+		m.interlock.Unlock()
+		sched.ThreadBlock(t)
+		m.interlock.Lock()
+		m.waiters--
+	}
+	m.held = true
+	m.interlock.Unlock()
+}
+
+// TryLock makes a single attempt.
+func (m *Mutex) TryLock(t *sched.Thread) bool {
+	m.interlock.Lock()
+	defer m.interlock.Unlock()
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}
+
+// Unlock releases the mutex, waking one waiter if any.
+func (m *Mutex) Unlock(t *sched.Thread) {
+	m.interlock.Lock()
+	if !m.held {
+		m.interlock.Unlock()
+		panic("cthreads: unlock of unlocked mutex")
+	}
+	m.held = false
+	wake := m.waiters > 0
+	m.interlock.Unlock()
+	if wake {
+		sched.ThreadWakeupOne(sched.Event(m))
+	}
+}
+
+// Held reports whether the mutex is currently held (advisory).
+func (m *Mutex) Held() bool {
+	m.interlock.Lock()
+	defer m.interlock.Unlock()
+	return m.held
+}
+
+// Contentions returns the number of times a Lock had to block.
+func (m *Mutex) Contentions() int64 { return m.contentions.Load() }
+
+// Condition is a C Threads condition variable. Wait atomically releases
+// the associated mutex and blocks; Signal wakes one waiter, Broadcast all.
+// As in every correct condition-variable protocol, waiters must re-check
+// their predicate in a loop.
+type Condition struct {
+	interlock splock.Lock
+	waiters   int
+
+	signals    atomic.Int64
+	broadcasts atomic.Int64
+}
+
+// NewCondition creates a condition variable.
+func NewCondition() *Condition { return &Condition{} }
+
+// Wait atomically releases mu and blocks t until the condition is
+// signalled, then re-acquires mu before returning. The atomicity comes
+// directly from the assert-before-unlock discipline of Section 6.
+func (c *Condition) Wait(t *sched.Thread, mu *Mutex) {
+	c.interlock.Lock()
+	c.waiters++
+	sched.AssertWait(t, sched.Event(c))
+	c.interlock.Unlock()
+
+	mu.Unlock(t)
+	sched.ThreadBlock(t)
+	mu.Lock(t)
+}
+
+// Signal wakes one waiter (if any).
+func (c *Condition) Signal() {
+	c.signals.Add(1)
+	c.interlock.Lock()
+	if c.waiters > 0 {
+		c.waiters--
+		c.interlock.Unlock()
+		sched.ThreadWakeupOne(sched.Event(c))
+		return
+	}
+	c.interlock.Unlock()
+}
+
+// Broadcast wakes every waiter.
+func (c *Condition) Broadcast() {
+	c.broadcasts.Add(1)
+	c.interlock.Lock()
+	n := c.waiters
+	c.waiters = 0
+	c.interlock.Unlock()
+	if n > 0 {
+		sched.ThreadWakeup(sched.Event(c))
+	}
+}
+
+// Waiters returns the current waiter count (advisory).
+func (c *Condition) Waiters() int {
+	c.interlock.Lock()
+	defer c.interlock.Unlock()
+	return c.waiters
+}
+
+// Spawn starts a C-thread (cthread_fork): a named kernel thread running
+// body. Join (cthread_join) waits for it.
+func Spawn(name string, body func(t *sched.Thread)) *sched.Thread {
+	return sched.Go(name, body)
+}

@@ -1,0 +1,220 @@
+package cthreads
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"machlock/internal/sched"
+)
+
+func join(t *testing.T, what string, threads ...*sched.Thread) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		for _, th := range threads {
+			th.Join()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	mu := NewMutex()
+	counter := 0
+	var threads []*sched.Thread
+	for i := 0; i < 8; i++ {
+		threads = append(threads, Spawn("w", func(self *sched.Thread) {
+			for j := 0; j < 1000; j++ {
+				mu.Lock(self)
+				counter++
+				mu.Unlock(self)
+			}
+		}))
+	}
+	join(t, "mutex workers", threads...)
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestMutexBlocksNotSpins(t *testing.T) {
+	mu := NewMutex()
+	holder := sched.New("holder")
+	mu.Lock(holder)
+	waiter := Spawn("waiter", func(self *sched.Thread) {
+		mu.Lock(self)
+		mu.Unlock(self)
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for waiter.Blocks() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("contended locker never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Unlock(holder)
+	join(t, "waiter", waiter)
+	if mu.Contentions() == 0 {
+		t.Fatal("contention not counted")
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	mu := NewMutex()
+	a, b := sched.New("a"), sched.New("b")
+	if !mu.TryLock(a) {
+		t.Fatal("try on free mutex failed")
+	}
+	if mu.TryLock(b) {
+		t.Fatal("try on held mutex succeeded")
+	}
+	if !mu.Held() {
+		t.Fatal("Held() false while held")
+	}
+	mu.Unlock(a)
+}
+
+func TestMutexUnlockUnlockedPanics(t *testing.T) {
+	mu := NewMutex()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	mu.Unlock(sched.New("t"))
+}
+
+func TestConditionSignalWakesOne(t *testing.T) {
+	mu := NewMutex()
+	cond := NewCondition()
+	ready := 0
+	consumed := make(chan int, 2)
+	mk := func() *sched.Thread {
+		return Spawn("waiter", func(self *sched.Thread) {
+			mu.Lock(self)
+			for ready == 0 {
+				cond.Wait(self, mu)
+			}
+			ready--
+			mu.Unlock(self)
+			consumed <- 1
+		})
+	}
+	w1, w2 := mk(), mk()
+	time.Sleep(20 * time.Millisecond) // let both wait
+	if cond.Waiters() != 2 {
+		t.Fatalf("waiters = %d, want 2", cond.Waiters())
+	}
+
+	boss := sched.New("boss")
+	mu.Lock(boss)
+	ready++
+	mu.Unlock(boss)
+	cond.Signal()
+	select {
+	case <-consumed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("signal woke nobody")
+	}
+	select {
+	case <-consumed:
+		t.Fatal("single signal satisfied two waiters")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	mu.Lock(boss)
+	ready++
+	mu.Unlock(boss)
+	cond.Signal()
+	join(t, "both waiters", w1, w2)
+}
+
+func TestConditionBroadcastWakesAll(t *testing.T) {
+	mu := NewMutex()
+	cond := NewCondition()
+	released := false
+	var woken atomic.Int32
+	var threads []*sched.Thread
+	for i := 0; i < 6; i++ {
+		threads = append(threads, Spawn("w", func(self *sched.Thread) {
+			mu.Lock(self)
+			for !released {
+				cond.Wait(self, mu)
+			}
+			mu.Unlock(self)
+			woken.Add(1)
+		}))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for cond.Waiters() < 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters parked", cond.Waiters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	boss := sched.New("boss")
+	mu.Lock(boss)
+	released = true
+	mu.Unlock(boss)
+	cond.Broadcast()
+	join(t, "broadcast waiters", threads...)
+	if woken.Load() != 6 {
+		t.Fatalf("woken = %d", woken.Load())
+	}
+}
+
+func TestSignalWithNoWaitersIsDropped(t *testing.T) {
+	cond := NewCondition()
+	cond.Signal()
+	cond.Broadcast()
+	if cond.Waiters() != 0 {
+		t.Fatal("phantom waiters")
+	}
+}
+
+// TestProducerConsumerPipeline runs the classic bounded-buffer workload —
+// the integration test of mutex + condition over the kernel primitives.
+func TestProducerConsumerPipeline(t *testing.T) {
+	const capacity, items = 4, 3000
+	mu := NewMutex()
+	notFull := NewCondition()
+	notEmpty := NewCondition()
+	var buf []int
+
+	producer := Spawn("producer", func(self *sched.Thread) {
+		for i := 0; i < items; i++ {
+			mu.Lock(self)
+			for len(buf) == capacity {
+				notFull.Wait(self, mu)
+			}
+			buf = append(buf, i)
+			mu.Unlock(self)
+			notEmpty.Signal()
+		}
+	})
+	var sum int64
+	consumer := Spawn("consumer", func(self *sched.Thread) {
+		for i := 0; i < items; i++ {
+			mu.Lock(self)
+			for len(buf) == 0 {
+				notEmpty.Wait(self, mu)
+			}
+			v := buf[0]
+			buf = buf[1:]
+			mu.Unlock(self)
+			notFull.Signal()
+			sum += int64(v)
+		}
+	})
+	join(t, "pipeline", producer, consumer)
+	want := int64(items) * int64(items-1) / 2
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"machlock/internal/core/splock"
+	"machlock/internal/stats"
+	"machlock/internal/timer"
+)
+
+func init() {
+	register(Experiment{ID: "e12", Title: "Uniprocessor compile-out and the non-locking timer", Run: runE12})
+}
+
+// runE12 quantifies the two "locks you don't pay for" designs:
+//
+//   - decl_simple_lock_data exists so simple locks can be DEFINED OUT of
+//     uniprocessor kernels; the Noop lock is that compile-out, and the
+//     delta against the real lock is the tax every uniprocessor would
+//     otherwise pay on every acquisition.
+//   - The usage-timing subsystem reads per-processor timers WITHOUT
+//     multiprocessor locks (Section 2's one exception), trading a lock for
+//     a consistency-check retry loop whose retry rate is tiny.
+func runE12(cfg Config) *Result {
+	iters := cfg.scale(1_000_000, 10_000_000)
+	res := &Result{
+		ID:    "e12",
+		Title: "Uniprocessor compile-out and the non-locking timer",
+		Claim: "a macro is used instead of a C type to allow simple locks to be defined out of uniprocessor kernels (Appendix A); access to timer data structures uses no multiprocessor locks (Section 2)",
+	}
+
+	lockTab := stats.NewTable("uncontended lock/unlock cost",
+		"variant", "ops", "ns/op")
+	{
+		var l splock.Lock
+		elapsed := timeIt(func() {
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		})
+		lockTab.AddRow("simple lock (MP kernel)", iters, float64(elapsed.Nanoseconds())/float64(iters))
+	}
+	{
+		var n splock.Noop
+		elapsed := timeIt(func() {
+			for i := 0; i < iters; i++ {
+				n.Lock()
+				n.Unlock()
+			}
+		})
+		lockTab.AddRow("compiled-out (UP kernel)", iters, float64(elapsed.Nanoseconds())/float64(iters))
+	}
+	{
+		var m splock.Mutex = &splock.Lock{}
+		elapsed := timeIt(func() {
+			for i := 0; i < iters; i++ {
+				m.Lock()
+				m.Unlock()
+			}
+		})
+		lockTab.AddRow("simple lock via interface", iters, float64(elapsed.Nanoseconds())/float64(iters))
+	}
+	res.Tables = append(res.Tables, lockTab)
+
+	// Timer: one owner updating through rollovers, concurrent readers.
+	timerTab := stats.NewTable("non-locking timer reads under concurrent update",
+		"readers", "reads", "retries", "retry-rate", "reads/sec")
+	for _, readers := range []int{1, 4} {
+		var tm timer.Timer
+		tm.Set(timer.LowMax - 1000)
+		readsPerReader := cfg.scale(100_000, 1_000_000)
+		var totalRetries int64
+		var mu sync.Mutex
+		stop := make(chan struct{})
+		writerDone := make(chan struct{})
+		go func() {
+			defer close(writerDone)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					tm.Add(700) // rolls over frequently
+				}
+			}
+		}()
+		var elapsed time.Duration
+		elapsed = timeIt(func() {
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var retries int64
+					for i := 0; i < readsPerReader; i++ {
+						_, r := tm.Read()
+						retries += int64(r)
+					}
+					mu.Lock()
+					totalRetries += retries
+					mu.Unlock()
+				}()
+			}
+			wg.Wait()
+		})
+		close(stop)
+		<-writerDone
+		reads := int64(readers * readsPerReader)
+		timerTab.AddRow(readers, reads, totalRetries,
+			stats.Ratio(float64(totalRetries), float64(reads)),
+			stats.PerSecond(reads, elapsed))
+	}
+	res.Tables = append(res.Tables, timerTab)
+	res.Notes = append(res.Notes,
+		"the simple-lock vs compiled-out delta is what the declaration macro saves uniprocessor kernels on every critical section",
+		"timer retry rates stay far below 1 even with the writer rolling over constantly: the per-processor-cell technique costs almost nothing where it applies",
+	)
+	return res
+}

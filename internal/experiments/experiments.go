@@ -1,0 +1,177 @@
+// Package experiments implements the machlock evaluation harness: one
+// driver per experiment in DESIGN.md's experiment index (E1–E12), each
+// reproducing a claim from "Locking and Reference Counting in the Mach
+// Kernel". The same drivers back the root-level testing.B benchmarks and
+// the cmd/machbench binary, so EXPERIMENTS.md rows can be regenerated with
+// either.
+//
+// The paper is an experience paper with no numbered tables or figures; the
+// experiment index maps each of its qualitative claims to a measurable
+// workload. Every driver returns plain-text tables plus prose notes
+// stating what the paper predicts and what to look for in the numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"machlock/internal/stats"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Quick trims iteration counts for use under `go test`; the full
+	// runs behind EXPERIMENTS.md come from cmd/machbench.
+	Quick bool
+}
+
+// scale returns quick when cfg.Quick, else full.
+func (c Config) scale(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Claim  string // the paper's claim under test
+	Tables []*stats.Table
+	Notes  []string
+}
+
+// WriteTo renders the result as text.
+func (r *Result) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	if err := write("== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return n, err
+	}
+	if err := write("claim: %s\n\n", r.Claim); err != nil {
+		return n, err
+	}
+	for _, t := range r.Tables {
+		k, err := t.WriteTo(w)
+		n += k
+		if err != nil {
+			return n, err
+		}
+		if err := write("\n"); err != nil {
+			return n, err
+		}
+	}
+	for _, note := range r.Notes {
+		if err := write("note: %s\n", note); err != nil {
+			return n, err
+		}
+	}
+	return n, write("\n")
+}
+
+// Experiment is a registered driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) *Result
+}
+
+// registry of all experiments, keyed by lowercase id.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// Lookup returns the experiment with the given id (e.g. "e1").
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// e1 < e2 < … < e10 < e11 < e12: compare by numeric suffix.
+		return num(out[i].ID) < num(out[j].ID)
+	})
+	return out
+}
+
+func num(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+// timeIt runs fn and returns its wall-clock duration.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// xorshift is a tiny deterministic PRNG for workload generation; the
+// experiments must not depend on math/rand's global state or on
+// time-seeded randomness (reproducibility).
+type xorshift uint64
+
+func newXorshift(seed uint64) xorshift {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return xorshift(seed)
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// median returns the median of a non-empty sample.
+func median(xs []float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// bestOf runs fn reps times and returns the shortest elapsed time — the
+// standard defense against one-shot wall-clock noise on a shared host.
+func bestOf(reps int, fn func()) time.Duration {
+	best := timeIt(fn)
+	for i := 1; i < reps; i++ {
+		if d := timeIt(fn); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// spinWork burns roughly n units of CPU as a critical-section body.
+func spinWork(n int) uint64 {
+	var acc uint64 = 1
+	for i := 0; i < n; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	return acc
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every registered experiment in quick
+// mode and sanity-checks its output shape. This doubles as an integration
+// test of the whole stack: every substrate is exercised through its
+// experiment driver.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registered experiments = %d, want 12", len(all))
+	}
+	for _, e := range all {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(Config{Quick: true})
+			if res.ID != e.ID {
+				t.Fatalf("result id = %q", res.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range res.Tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("table %q row width %d != %d columns", tb.Title, len(row), len(tb.Columns))
+					}
+				}
+			}
+			var sb strings.Builder
+			if _, err := res.WriteTo(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), res.Title) {
+				t.Fatal("rendered output missing title")
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("e1"); !ok {
+		t.Fatal("e1 not registered")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	all := All()
+	for i, want := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"} {
+		if all[i].ID != want {
+			t.Fatalf("position %d = %s, want %s", i, all[i].ID, want)
+		}
+	}
+}

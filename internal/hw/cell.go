@@ -1,0 +1,181 @@
+package hw
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// lineState is the per-CPU cache line state of a Cell under the simplified
+// MSI coherence protocol.
+type lineState uint8
+
+const (
+	invalid lineState = iota
+	shared
+	modified
+)
+
+// CellStats is a snapshot of a cell's access accounting.
+type CellStats struct {
+	Loads      int64 // total loads
+	Stores     int64 // total stores (including the write half of RMWs)
+	RMWs       int64 // atomic read-modify-write operations
+	LoadMisses int64 // loads that required a bus transaction
+	StoreTxns  int64 // stores/RMWs that required a bus transaction
+}
+
+// Cell is a simulated memory word with per-CPU cache line states. All
+// accesses name the CPU performing them; the cell maintains MSI coherence
+// and charges a bus transaction to the machine whenever the access cannot be
+// satisfied from the local cache:
+//
+//   - a load with the line Invalid fetches it Shared (one transaction, and
+//     any remote Modified copy is demoted to Shared);
+//   - a store or atomic RMW with the line not Modified acquires exclusive
+//     ownership (one transaction, all remote copies invalidated);
+//   - with write-through caches, every store/RMW is a transaction regardless
+//     of line state, which is the regime where the paper says plain
+//     test-and-set spinning must be replaced by test-and-test-and-set.
+//
+// Atomicity is provided by an internal host mutex: a simulated atomic
+// operation really is atomic, and the (host) contention it suffers stands in
+// for the interconnect serialization a real atomic instruction pays.
+type Cell struct {
+	m  *Machine
+	mu sync.Mutex
+
+	val int64
+	st  []lineState
+
+	loads      atomic.Int64
+	stores     atomic.Int64
+	rmws       atomic.Int64
+	loadMisses atomic.Int64
+	storeTxns  atomic.Int64
+}
+
+// NewCell allocates a cell with the given initial value. No CPU holds the
+// line initially.
+func (m *Machine) NewCell(initial int64) *Cell {
+	return &Cell{m: m, val: initial, st: make([]lineState, len(m.cpus))}
+}
+
+// Load reads the cell from the given CPU, performing a cache fill if the
+// line is not locally valid.
+func (c *Cell) Load(cpu *CPU) int64 {
+	c.loads.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.st[cpu.id] == invalid {
+		c.loadMisses.Add(1)
+		c.m.busTransaction()
+		// A remote Modified copy is demoted to Shared by the fill.
+		for i := range c.st {
+			if c.st[i] == modified {
+				c.st[i] = shared
+			}
+		}
+		c.st[cpu.id] = shared
+	}
+	return c.val
+}
+
+// Store writes the cell from the given CPU, acquiring exclusive ownership of
+// the line (invalidating all remote copies) if not already held Modified.
+func (c *Cell) Store(cpu *CPU, v int64) {
+	c.stores.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writeLocked(cpu, v)
+}
+
+// Swap atomically replaces the cell's value and returns the old one — the
+// simulated test-and-set (and test-and-clear) primitive. Coherence-wise it
+// behaves as a store: the line must be owned exclusively.
+func (c *Cell) Swap(cpu *CPU, v int64) int64 {
+	c.rmws.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.val
+	c.writeLocked(cpu, v)
+	return old
+}
+
+// CompareAndSwap atomically replaces the cell's value with new if it equals
+// old, reporting whether the swap happened. Like hardware CAS it acquires
+// exclusive ownership of the line whether or not the swap succeeds.
+func (c *Cell) CompareAndSwap(cpu *CPU, old, new int64) bool {
+	c.rmws.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.val
+	if cur != old {
+		// The failed CAS still performed the ownership acquisition.
+		c.ownLocked(cpu)
+		return false
+	}
+	c.writeLocked(cpu, new)
+	return true
+}
+
+// Add atomically adds delta and returns the new value.
+func (c *Cell) Add(cpu *CPU, delta int64) int64 {
+	c.rmws.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writeLocked(cpu, c.val+delta)
+	return c.val
+}
+
+// writeLocked performs the coherence actions of a store by cpu and then
+// writes v. c.mu must be held.
+func (c *Cell) writeLocked(cpu *CPU, v int64) {
+	c.ownLocked(cpu)
+	c.val = v
+}
+
+// ownLocked acquires exclusive (Modified) ownership of the line for cpu,
+// charging a bus transaction when required. c.mu must be held.
+func (c *Cell) ownLocked(cpu *CPU) {
+	if c.st[cpu.id] != modified {
+		c.storeTxns.Add(1)
+		c.m.busTransaction()
+		for i := range c.st {
+			c.st[i] = invalid
+		}
+		c.st[cpu.id] = modified
+	} else if c.m.writeThrough {
+		// Write-through caches push every store to the interconnect.
+		c.storeTxns.Add(1)
+		c.m.busTransaction()
+	}
+}
+
+// Value returns the cell's current value without simulating a cache access;
+// intended for assertions and statistics, not for simulated code paths.
+func (c *Cell) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.val
+}
+
+// Stats returns a snapshot of the cell's access accounting.
+func (c *Cell) Stats() CellStats {
+	return CellStats{
+		Loads:      c.loads.Load(),
+		Stores:     c.stores.Load(),
+		RMWs:       c.rmws.Load(),
+		LoadMisses: c.loadMisses.Load(),
+		StoreTxns:  c.storeTxns.Load(),
+	}
+}
+
+// ResetStats zeroes the cell's access accounting (not its value or cache
+// state).
+func (c *Cell) ResetStats() {
+	c.loads.Store(0)
+	c.stores.Store(0)
+	c.rmws.Store(0)
+	c.loadMisses.Store(0)
+	c.storeTxns.Store(0)
+}

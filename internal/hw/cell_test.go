@@ -1,0 +1,287 @@
+package hw
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellInitialValue(t *testing.T) {
+	m := New(2)
+	c := m.NewCell(42)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("initial value = %d, want 42", got)
+	}
+	if got := c.Load(m.CPU(0)); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestCellLoadMissThenHit(t *testing.T) {
+	m := New(2)
+	c := m.NewCell(7)
+	cpu := m.CPU(0)
+
+	c.Load(cpu) // miss: fill Shared
+	if got := m.BusTransactions(); got != 1 {
+		t.Fatalf("bus after first load = %d, want 1", got)
+	}
+	c.Load(cpu) // hit
+	c.Load(cpu) // hit
+	if got := m.BusTransactions(); got != 1 {
+		t.Fatalf("bus after repeated loads = %d, want 1 (hits must be free)", got)
+	}
+}
+
+func TestCellStoreInvalidatesRemoteCopies(t *testing.T) {
+	m := New(3)
+	c := m.NewCell(0)
+	c.Load(m.CPU(0))
+	c.Load(m.CPU(1))
+	m.ResetBus()
+
+	c.Store(m.CPU(2), 5) // one ownership transaction
+	if got := m.BusTransactions(); got != 1 {
+		t.Fatalf("bus after store = %d, want 1", got)
+	}
+	// Both remote CPUs now miss.
+	c.Load(m.CPU(0))
+	c.Load(m.CPU(1))
+	if got := m.BusTransactions(); got != 3 {
+		t.Fatalf("bus after remote reloads = %d, want 3", got)
+	}
+	if got := c.Load(m.CPU(0)); got != 5 {
+		t.Fatalf("remote load saw %d, want 5 (coherence broken)", got)
+	}
+}
+
+func TestCellModifiedStoreHitIsFreeWriteBack(t *testing.T) {
+	m := New(2)
+	c := m.NewCell(0)
+	cpu := m.CPU(0)
+	c.Store(cpu, 1)
+	m.ResetBus()
+	for i := 0; i < 10; i++ {
+		c.Store(cpu, int64(i))
+	}
+	if got := m.BusTransactions(); got != 0 {
+		t.Fatalf("write-back stores in Modified state cost %d transactions, want 0", got)
+	}
+}
+
+func TestCellWriteThroughStoresAlwaysCost(t *testing.T) {
+	m := NewWithConfig(Config{CPUs: 2, WriteThrough: true})
+	c := m.NewCell(0)
+	cpu := m.CPU(0)
+	c.Store(cpu, 1)
+	m.ResetBus()
+	for i := 0; i < 10; i++ {
+		c.Store(cpu, int64(i))
+	}
+	if got := m.BusTransactions(); got != 10 {
+		t.Fatalf("write-through stores cost %d transactions, want 10", got)
+	}
+}
+
+func TestCellSwapReturnsOldValue(t *testing.T) {
+	m := New(2)
+	c := m.NewCell(0)
+	if old := c.Swap(m.CPU(0), 1); old != 0 {
+		t.Fatalf("first Swap returned %d, want 0", old)
+	}
+	if old := c.Swap(m.CPU(1), 1); old != 1 {
+		t.Fatalf("second Swap returned %d, want 1", old)
+	}
+}
+
+func TestCellSwapPingPongCostsBusTraffic(t *testing.T) {
+	// Two CPUs alternately swapping must pay an ownership transfer each
+	// time: the cache-line ping-pong the paper's TTAS discussion targets.
+	m := New(2)
+	c := m.NewCell(0)
+	c.Swap(m.CPU(1), 1) // line ends up Modified on CPU 1
+	m.ResetBus()
+	for i := 0; i < 10; i++ {
+		c.Swap(m.CPU(i%2), 1) // every swap transfers ownership
+	}
+	if got := m.BusTransactions(); got != 10 {
+		t.Fatalf("alternating swaps cost %d transactions, want 10", got)
+	}
+}
+
+func TestCellRepeatedSwapBySameCPUIsFree(t *testing.T) {
+	m := New(2)
+	c := m.NewCell(0)
+	cpu := m.CPU(0)
+	c.Swap(cpu, 1)
+	m.ResetBus()
+	for i := 0; i < 10; i++ {
+		c.Swap(cpu, 1)
+	}
+	if got := m.BusTransactions(); got != 0 {
+		t.Fatalf("same-CPU swaps in Modified state cost %d, want 0 (write-back)", got)
+	}
+}
+
+func TestCellCompareAndSwap(t *testing.T) {
+	m := New(2)
+	c := m.NewCell(3)
+	if c.CompareAndSwap(m.CPU(0), 4, 9) {
+		t.Fatal("CAS with wrong old value succeeded")
+	}
+	if got := c.Value(); got != 3 {
+		t.Fatalf("value after failed CAS = %d, want 3", got)
+	}
+	if !c.CompareAndSwap(m.CPU(0), 3, 9) {
+		t.Fatal("CAS with right old value failed")
+	}
+	if got := c.Value(); got != 9 {
+		t.Fatalf("value after CAS = %d, want 9", got)
+	}
+}
+
+func TestCellAdd(t *testing.T) {
+	m := New(2)
+	c := m.NewCell(10)
+	if got := c.Add(m.CPU(0), 5); got != 15 {
+		t.Fatalf("Add returned %d, want 15", got)
+	}
+	if got := c.Add(m.CPU(1), -20); got != -5 {
+		t.Fatalf("Add returned %d, want -5", got)
+	}
+}
+
+func TestCellStats(t *testing.T) {
+	m := New(2)
+	c := m.NewCell(0)
+	c.Load(m.CPU(0))
+	c.Load(m.CPU(0))
+	c.Store(m.CPU(1), 1)
+	c.Swap(m.CPU(0), 2)
+	s := c.Stats()
+	if s.Loads != 2 || s.Stores != 1 || s.RMWs != 1 {
+		t.Fatalf("stats = %+v, want Loads=2 Stores=1 RMWs=1", s)
+	}
+	if s.LoadMisses != 1 {
+		t.Fatalf("load misses = %d, want 1", s.LoadMisses)
+	}
+	c.ResetStats()
+	if s := c.Stats(); s.Loads != 0 || s.StoreTxns != 0 {
+		t.Fatalf("stats after reset = %+v, want zeros", s)
+	}
+}
+
+// TestCellSwapAtomicity hammers a cell with concurrent swap-based increments
+// (read-modify-write via Swap exchange loop) and checks no update is lost.
+func TestCellSwapAtomicity(t *testing.T) {
+	m := New(4)
+	c := m.NewCell(0)
+	const perCPU = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < m.NCPU(); i++ {
+		wg.Add(1)
+		go func(cpu *CPU) {
+			defer wg.Done()
+			for j := 0; j < perCPU; j++ {
+				c.Add(cpu, 1)
+			}
+		}(m.CPU(i))
+	}
+	wg.Wait()
+	if got := c.Value(); got != int64(m.NCPU()*perCPU) {
+		t.Fatalf("value = %d, want %d (lost updates)", got, m.NCPU()*perCPU)
+	}
+}
+
+// TestCellCASAtomicity does the same with CAS loops.
+func TestCellCASAtomicity(t *testing.T) {
+	m := New(4)
+	c := m.NewCell(0)
+	const perCPU = 500
+	var wg sync.WaitGroup
+	for i := 0; i < m.NCPU(); i++ {
+		wg.Add(1)
+		go func(cpu *CPU) {
+			defer wg.Done()
+			for j := 0; j < perCPU; j++ {
+				for {
+					old := c.Load(cpu)
+					if c.CompareAndSwap(cpu, old, old+1) {
+						break
+					}
+				}
+			}
+		}(m.CPU(i))
+	}
+	wg.Wait()
+	if got := c.Value(); got != int64(m.NCPU()*perCPU) {
+		t.Fatalf("value = %d, want %d (lost updates)", got, m.NCPU()*perCPU)
+	}
+}
+
+// Property: for any sequence of single-CPU operations, the cell behaves like
+// a plain variable (linearizable single-threaded semantics).
+func TestCellSequentialSemanticsQuick(t *testing.T) {
+	type op struct {
+		Kind uint8 // 0 load, 1 store, 2 swap, 3 add
+		CPU  uint8
+		Val  int16
+	}
+	f := func(ops []op) bool {
+		m := New(4)
+		c := m.NewCell(0)
+		var ref int64
+		for _, o := range ops {
+			cpu := m.CPU(int(o.CPU) % 4)
+			v := int64(o.Val)
+			switch o.Kind % 4 {
+			case 0:
+				if c.Load(cpu) != ref {
+					return false
+				}
+			case 1:
+				c.Store(cpu, v)
+				ref = v
+			case 2:
+				if c.Swap(cpu, v) != ref {
+					return false
+				}
+				ref = v
+			case 3:
+				ref += v
+				if c.Add(cpu, v) != ref {
+					return false
+				}
+			}
+		}
+		return c.Value() == ref
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bus transactions never exceed total accesses plus one ownership
+// transfer per access (each access causes at most one transaction in
+// write-back mode).
+func TestCellBusBoundQuick(t *testing.T) {
+	f := func(seq []uint8) bool {
+		m := New(4)
+		c := m.NewCell(0)
+		for _, b := range seq {
+			cpu := m.CPU(int(b>>2) % 4)
+			switch b % 3 {
+			case 0:
+				c.Load(cpu)
+			case 1:
+				c.Store(cpu, int64(b))
+			case 2:
+				c.Swap(cpu, int64(b))
+			}
+		}
+		return m.BusTransactions() <= int64(len(seq))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package hw simulates the shared-memory multiprocessor hardware that the
+// Mach locking paper (Black et al., ICPP 1991) assumes: a set of processors
+// with coherent caches, atomic read-modify-write instructions on memory
+// cells, per-processor interrupt priority levels (SPLs), and inter-processor
+// interrupts (IPIs).
+//
+// The paper's argument for test-and-test-and-set locks is entirely about
+// interconnect (bus) traffic generated while spinning on a cached lock word,
+// so the central abstraction here is Cell: a memory word whose per-CPU cache
+// line states follow a simplified MSI coherence protocol and whose bus
+// transactions are counted. A Machine can also be configured write-through,
+// reproducing the cache regime the paper cites as the reason TAS must be
+// replaced by TTAS.
+//
+// Interrupts are delivered at explicit checkpoints: code that "runs on" a
+// simulated CPU calls Checkpoint (directly or via a spinning lock) and any
+// pending interrupts above the CPU's current SPL run inline, at the
+// interrupt's priority. This is exactly the delivery discipline the paper's
+// Section 7 deadlock scenario depends on — a processor that has raised its
+// SPL does not accept the interrupt until it lowers it again.
+package hw
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Level is an interrupt priority level. Higher levels block lower- and
+// equal-priority interrupts, following classic spl semantics: an interrupt
+// of priority p is deliverable only while the CPU's current level is
+// strictly less than p.
+type Level int32
+
+// Interrupt priority levels, lowest to highest. The names follow the
+// paper's Section 7 ("spl0, splvm, splnet, splclock, etc.").
+const (
+	SPL0     Level = 0 // normal execution, all interrupts enabled
+	SPLSOFT  Level = 1
+	SPLNET   Level = 2
+	SPLTTY   Level = 3
+	SPLVM    Level = 4 // TLB shootdown / virtual memory interrupts
+	SPLCLOCK Level = 5
+	SPLSCHED Level = 6
+	SPLHIGH  Level = 7 // blocks all interrupts
+)
+
+// String implements fmt.Stringer for SPL levels.
+func (l Level) String() string {
+	switch l {
+	case SPL0:
+		return "spl0"
+	case SPLSOFT:
+		return "splsoft"
+	case SPLNET:
+		return "splnet"
+	case SPLTTY:
+		return "spltty"
+	case SPLVM:
+		return "splvm"
+	case SPLCLOCK:
+		return "splclock"
+	case SPLSCHED:
+		return "splsched"
+	case SPLHIGH:
+		return "splhigh"
+	default:
+		return fmt.Sprintf("spl(%d)", int32(l))
+	}
+}
+
+// Interrupt is a deliverable interrupt: a priority level and a handler that
+// runs on the receiving CPU with that CPU's SPL raised to the interrupt's
+// level for the duration of the handler.
+type Interrupt struct {
+	Level   Level
+	Handler func(c *CPU)
+}
+
+// Config controls machine construction.
+type Config struct {
+	// CPUs is the number of simulated processors (>= 1).
+	CPUs int
+	// WriteThrough models write-through caches: every store or atomic
+	// read-modify-write generates a bus transaction even when the line is
+	// already held modified. This is the cache regime in which the paper
+	// says a plain test-and-set spin is unacceptable.
+	WriteThrough bool
+}
+
+// Machine is a simulated shared-memory multiprocessor.
+type Machine struct {
+	cpus         []*CPU
+	writeThrough bool
+	bus          atomic.Int64 // total interconnect transactions
+}
+
+// New creates a machine with n processors and write-back caches.
+func New(n int) *Machine {
+	return NewWithConfig(Config{CPUs: n})
+}
+
+// NewWithConfig creates a machine from an explicit configuration.
+func NewWithConfig(cfg Config) *Machine {
+	if cfg.CPUs < 1 {
+		panic("hw: machine needs at least one CPU")
+	}
+	m := &Machine{writeThrough: cfg.WriteThrough}
+	m.cpus = make([]*CPU, cfg.CPUs)
+	for i := range m.cpus {
+		m.cpus[i] = &CPU{m: m, id: i}
+	}
+	return m
+}
+
+// NCPU returns the number of simulated processors.
+func (m *Machine) NCPU() int { return len(m.cpus) }
+
+// CPU returns the processor with the given id.
+func (m *Machine) CPU(i int) *CPU { return m.cpus[i] }
+
+// CPUs returns all processors in id order.
+func (m *Machine) CPUs() []*CPU { return m.cpus }
+
+// WriteThrough reports whether the machine models write-through caches.
+func (m *Machine) WriteThrough() bool { return m.writeThrough }
+
+// BusTransactions returns the total number of interconnect transactions
+// (cache fills, invalidations, write-throughs) performed since the last
+// ResetBus. This is the paper's measure of the bandwidth wasted by spinning.
+func (m *Machine) BusTransactions() int64 { return m.bus.Load() }
+
+// ResetBus zeroes the interconnect transaction counter and returns the
+// previous total.
+func (m *Machine) ResetBus() int64 { return m.bus.Swap(0) }
+
+func (m *Machine) busTransaction() { m.bus.Add(1) }
+
+// CPU is one simulated processor. Exactly one goroutine may execute "on" a
+// CPU at a time; that goroutine is responsible for calling Checkpoint at
+// interruptible points (spin loops do this automatically).
+type CPU struct {
+	m  *Machine
+	id int
+
+	mu        sync.Mutex
+	spl       Level
+	pending   []Interrupt
+	inHandler int
+
+	interruptsTaken  atomic.Int64
+	interruptsPosted atomic.Int64
+	checkpoints      atomic.Int64
+}
+
+// ID returns the processor number.
+func (c *CPU) ID() int { return c.id }
+
+// Machine returns the machine this CPU belongs to.
+func (c *CPU) Machine() *Machine { return c.m }
+
+// SPL returns the CPU's current interrupt priority level.
+func (c *CPU) SPL() Level {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spl
+}
+
+// SetSPL sets the interrupt priority level and returns the previous level.
+// Lowering the level immediately delivers any pending interrupts that the
+// new level permits, mirroring real splx behaviour.
+func (c *CPU) SetSPL(l Level) Level {
+	c.mu.Lock()
+	old := c.spl
+	c.spl = l
+	c.mu.Unlock()
+	if l < old {
+		c.Checkpoint()
+	}
+	return old
+}
+
+// Splx restores a previously saved level (identical to SetSPL; the name
+// matches kernel convention and reads better at call sites).
+func (c *CPU) Splx(l Level) { c.SetSPL(l) }
+
+// Post queues an interrupt for this CPU. It may be called from any
+// goroutine. The interrupt runs at the receiving CPU's next checkpoint at
+// which the CPU's SPL admits it.
+func (c *CPU) Post(i Interrupt) {
+	if i.Handler == nil {
+		panic("hw: interrupt with nil handler")
+	}
+	c.interruptsPosted.Add(1)
+	c.mu.Lock()
+	c.pending = append(c.pending, i)
+	c.mu.Unlock()
+}
+
+// PendingInterrupts returns the number of queued, not-yet-delivered
+// interrupts.
+func (c *CPU) PendingInterrupts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Checkpoint delivers pending interrupts whose priority exceeds the CPU's
+// current SPL. Handlers run on the calling goroutine with the SPL raised to
+// the interrupt's level; nested interrupts of still-higher priority can be
+// taken from within a handler if the handler itself checkpoints.
+func (c *CPU) Checkpoint() {
+	c.checkpoints.Add(1)
+	for {
+		c.mu.Lock()
+		idx := -1
+		best := c.spl
+		for i, intr := range c.pending {
+			if intr.Level > best {
+				idx = i
+				best = intr.Level
+			}
+		}
+		if idx < 0 {
+			c.mu.Unlock()
+			return
+		}
+		intr := c.pending[idx]
+		c.pending = append(c.pending[:idx], c.pending[idx+1:]...)
+		saved := c.spl
+		c.spl = intr.Level
+		c.inHandler++
+		c.mu.Unlock()
+
+		c.interruptsTaken.Add(1)
+		intr.Handler(c)
+
+		c.mu.Lock()
+		c.inHandler--
+		c.spl = saved
+		c.mu.Unlock()
+	}
+}
+
+// InHandler reports whether the CPU is currently executing an interrupt
+// handler. Interrupt code lacks thread context and is forbidden from
+// acquiring sleep locks (paper Section 7, problem 1); callers can use this
+// to enforce that rule.
+func (c *CPU) InHandler() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inHandler > 0
+}
+
+// InterruptsTaken returns the number of interrupts this CPU has executed.
+func (c *CPU) InterruptsTaken() int64 { return c.interruptsTaken.Load() }
+
+// InterruptsPosted returns the number of interrupts queued to this CPU.
+func (c *CPU) InterruptsPosted() int64 { return c.interruptsPosted.Load() }
+
+// Checkpoints returns how many times the CPU polled for interrupts.
+func (c *CPU) Checkpoints() int64 { return c.checkpoints.Load() }
+
+// IPI posts an interrupt to the target CPU; a convenience wrapper used by
+// the TLB shootdown code.
+func (m *Machine) IPI(target int, level Level, handler func(c *CPU)) {
+	m.cpus[target].Post(Interrupt{Level: level, Handler: handler})
+}

@@ -1,0 +1,238 @@
+package hw
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMachineConstruction(t *testing.T) {
+	m := New(4)
+	if m.NCPU() != 4 {
+		t.Fatalf("NCPU = %d, want 4", m.NCPU())
+	}
+	for i := 0; i < 4; i++ {
+		if m.CPU(i).ID() != i {
+			t.Fatalf("CPU(%d).ID() = %d", i, m.CPU(i).ID())
+		}
+		if m.CPU(i).Machine() != m {
+			t.Fatalf("CPU(%d).Machine() mismatch", i)
+		}
+	}
+	if len(m.CPUs()) != 4 {
+		t.Fatalf("CPUs() length = %d", len(m.CPUs()))
+	}
+}
+
+func TestMachineRejectsZeroCPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestSPLNames(t *testing.T) {
+	cases := map[Level]string{
+		SPL0: "spl0", SPLVM: "splvm", SPLHIGH: "splhigh", Level(42): "spl(42)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int32(l), got, want)
+		}
+	}
+}
+
+func TestSetSPLReturnsOld(t *testing.T) {
+	m := New(1)
+	c := m.CPU(0)
+	if old := c.SetSPL(SPLVM); old != SPL0 {
+		t.Fatalf("old level = %v, want spl0", old)
+	}
+	if old := c.SetSPL(SPLHIGH); old != SPLVM {
+		t.Fatalf("old level = %v, want splvm", old)
+	}
+	if got := c.SPL(); got != SPLHIGH {
+		t.Fatalf("SPL = %v, want splhigh", got)
+	}
+}
+
+func TestInterruptDeliveredAtCheckpoint(t *testing.T) {
+	m := New(1)
+	c := m.CPU(0)
+	var ran atomic.Bool
+	c.Post(Interrupt{Level: SPLVM, Handler: func(cpu *CPU) { ran.Store(true) }})
+	if ran.Load() {
+		t.Fatal("interrupt ran before checkpoint")
+	}
+	c.Checkpoint()
+	if !ran.Load() {
+		t.Fatal("interrupt did not run at checkpoint")
+	}
+	if c.PendingInterrupts() != 0 {
+		t.Fatal("interrupt still pending after delivery")
+	}
+}
+
+func TestInterruptMaskedBySPL(t *testing.T) {
+	m := New(1)
+	c := m.CPU(0)
+	var ran atomic.Bool
+	c.SetSPL(SPLVM)
+	c.Post(Interrupt{Level: SPLVM, Handler: func(cpu *CPU) { ran.Store(true) }})
+	c.Checkpoint()
+	if ran.Load() {
+		t.Fatal("interrupt at splvm delivered while CPU at splvm (must require strictly higher)")
+	}
+	// Lowering the SPL delivers it without an explicit checkpoint.
+	c.SetSPL(SPL0)
+	if !ran.Load() {
+		t.Fatal("interrupt not delivered when SPL lowered")
+	}
+}
+
+func TestHandlerRunsAtInterruptLevel(t *testing.T) {
+	m := New(1)
+	c := m.CPU(0)
+	var seen Level = -1
+	c.Post(Interrupt{Level: SPLCLOCK, Handler: func(cpu *CPU) { seen = cpu.SPL() }})
+	c.Checkpoint()
+	if seen != SPLCLOCK {
+		t.Fatalf("handler ran at %v, want splclock", seen)
+	}
+	if got := c.SPL(); got != SPL0 {
+		t.Fatalf("SPL after handler = %v, want spl0 (restored)", got)
+	}
+}
+
+func TestHigherPriorityInterruptDeliveredFirst(t *testing.T) {
+	m := New(1)
+	c := m.CPU(0)
+	var order []Level
+	c.Post(Interrupt{Level: SPLNET, Handler: func(cpu *CPU) { order = append(order, SPLNET) }})
+	c.Post(Interrupt{Level: SPLCLOCK, Handler: func(cpu *CPU) { order = append(order, SPLCLOCK) }})
+	c.Checkpoint()
+	if len(order) != 2 || order[0] != SPLCLOCK || order[1] != SPLNET {
+		t.Fatalf("delivery order = %v, want [splclock splnet]", order)
+	}
+}
+
+func TestNestedInterruptFromHandlerCheckpoint(t *testing.T) {
+	m := New(1)
+	c := m.CPU(0)
+	var order []string
+	c.Post(Interrupt{Level: SPLNET, Handler: func(cpu *CPU) {
+		order = append(order, "net-start")
+		// A higher-priority interrupt arrives during the handler.
+		cpu.Post(Interrupt{Level: SPLCLOCK, Handler: func(*CPU) { order = append(order, "clock") }})
+		cpu.Checkpoint()
+		order = append(order, "net-end")
+	}})
+	c.Checkpoint()
+	want := []string{"net-start", "clock", "net-end"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestEqualPriorityInterruptNotNested(t *testing.T) {
+	m := New(1)
+	c := m.CPU(0)
+	var nested bool
+	c.Post(Interrupt{Level: SPLNET, Handler: func(cpu *CPU) {
+		cpu.Post(Interrupt{Level: SPLNET, Handler: func(*CPU) { nested = true }})
+		cpu.Checkpoint() // equal priority: masked inside the handler
+		if nested {
+			t.Error("equal-priority interrupt nested inside its own level")
+		}
+	}})
+	c.Checkpoint() // the second interrupt runs here, after the first returns
+	if !nested {
+		t.Fatal("queued equal-priority interrupt never delivered")
+	}
+}
+
+func TestInHandler(t *testing.T) {
+	m := New(1)
+	c := m.CPU(0)
+	if c.InHandler() {
+		t.Fatal("InHandler true outside handler")
+	}
+	var inside bool
+	c.Post(Interrupt{Level: SPLVM, Handler: func(cpu *CPU) { inside = cpu.InHandler() }})
+	c.Checkpoint()
+	if !inside {
+		t.Fatal("InHandler false inside handler")
+	}
+	if c.InHandler() {
+		t.Fatal("InHandler true after handler returned")
+	}
+}
+
+func TestIPIDelivery(t *testing.T) {
+	m := New(2)
+	var got atomic.Int64
+	m.IPI(1, SPLVM, func(c *CPU) { got.Store(int64(c.ID()) + 100) })
+	m.CPU(1).Checkpoint()
+	if got.Load() != 101 {
+		t.Fatalf("IPI handler result = %d, want 101", got.Load())
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	m := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Post with nil handler did not panic")
+		}
+	}()
+	m.CPU(0).Post(Interrupt{Level: SPLVM})
+}
+
+func TestInterruptCounters(t *testing.T) {
+	m := New(1)
+	c := m.CPU(0)
+	for i := 0; i < 3; i++ {
+		c.Post(Interrupt{Level: SPLVM, Handler: func(*CPU) {}})
+	}
+	c.Checkpoint()
+	if c.InterruptsPosted() != 3 || c.InterruptsTaken() != 3 {
+		t.Fatalf("posted=%d taken=%d, want 3/3", c.InterruptsPosted(), c.InterruptsTaken())
+	}
+	if c.Checkpoints() == 0 {
+		t.Fatal("checkpoint counter not incremented")
+	}
+}
+
+// TestSection7DeadlockIngredients verifies the delivery property the
+// paper's Section 7 deadlock scenario depends on: a CPU that has raised its
+// SPL does not accept a posted interrupt, while a CPU at spl0 does.
+func TestSection7DeadlockIngredients(t *testing.T) {
+	m := New(2)
+	p1, p2 := m.CPU(0), m.CPU(1)
+	p2.SetSPL(SPLVM) // "processor 2 has disabled interrupts"
+	var taken [2]atomic.Bool
+	m.IPI(0, SPLVM, func(*CPU) { taken[0].Store(true) })
+	m.IPI(1, SPLVM, func(*CPU) { taken[1].Store(true) })
+	p1.Checkpoint()
+	p2.Checkpoint()
+	if !taken[0].Load() {
+		t.Fatal("processor 1 (interrupts enabled) did not take its interrupt")
+	}
+	if taken[1].Load() {
+		t.Fatal("processor 2 (interrupts disabled) took its interrupt")
+	}
+}
+
+func TestSplxAndWriteThroughAccessors(t *testing.T) {
+	m := NewWithConfig(Config{CPUs: 1, WriteThrough: true})
+	if !m.WriteThrough() {
+		t.Fatal("WriteThrough() false on write-through machine")
+	}
+	c := m.CPU(0)
+	old := c.SetSPL(SPLVM)
+	c.Splx(old)
+	if got := c.SPL(); got != SPL0 {
+		t.Fatalf("SPL after splx = %v", got)
+	}
+}

@@ -1,0 +1,64 @@
+package ipc
+
+// Message is a typed collection of data sent to a port. Its Dest and Reply
+// fields each carry a counted reference to the named port, acquired when
+// the message is built and released when the message is destroyed —
+// "Internal destruction of original message releases the port reference"
+// (Section 10, step 5).
+type Message struct {
+	// Dest is the destination port. The message holds a reference.
+	Dest *Port
+	// Reply is the port the reply should be sent to, or nil for one-way
+	// messages. The message holds a reference.
+	Reply *Port
+	// Op selects the operation in the dispatcher's handler table.
+	Op int
+	// Body carries the typed data items.
+	Body []any
+	// Err carries a failure code in reply messages.
+	Err error
+
+	destroyed bool
+}
+
+// NewMessage builds a message to dest (cloning a reference to it) with an
+// optional reply port (also cloned).
+func NewMessage(dest *Port, reply *Port, op int, body ...any) *Message {
+	dest.TakeRef()
+	if reply != nil {
+		reply.TakeRef()
+	}
+	return &Message{Dest: dest, Reply: reply, Op: op, Body: body}
+}
+
+// NewReply builds a reply message addressed to the request's reply port,
+// consuming nothing from the request. Returns nil if the request had no
+// reply port.
+func NewReply(req *Message, body ...any) *Message {
+	if req.Reply == nil {
+		return nil
+	}
+	return NewMessage(req.Reply, nil, req.Op, body...)
+}
+
+// NewErrorReply builds a reply carrying a failure code.
+func NewErrorReply(req *Message, err error) *Message {
+	m := NewReply(req)
+	if m != nil {
+		m.Err = err
+	}
+	return m
+}
+
+// Destroy releases the port references the message carries. Destroying a
+// message twice panics: each reference may be released exactly once.
+func (m *Message) Destroy() {
+	if m.destroyed {
+		panic("ipc: message destroyed twice")
+	}
+	m.destroyed = true
+	m.Dest.Release(nil)
+	if m.Reply != nil {
+		m.Reply.Release(nil)
+	}
+}

@@ -1,0 +1,349 @@
+package ipc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"machlock/internal/core/object"
+	"machlock/internal/sched"
+)
+
+// kobj is a minimal kernel object for tests.
+type kobj struct {
+	object.Object
+}
+
+func newKobj(name string) *kobj {
+	k := &kobj{}
+	k.Init(name)
+	return k
+}
+
+func refsOf(o interface {
+	Lock()
+	Unlock()
+	Refs() int32
+}) int32 {
+	o.Lock()
+	defer o.Unlock()
+	return o.Refs()
+}
+
+func TestPortSendReceive(t *testing.T) {
+	p := NewPort("p")
+	th := sched.New("t")
+	msg := NewMessage(p, nil, 7, "hello", 42)
+	if err := p.Send(msg); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := p.Receive(th)
+	if err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if got.Op != 7 || got.Body[0] != "hello" || got.Body[1] != 42 {
+		t.Fatalf("received %+v", got)
+	}
+	got.Destroy()
+	if refsOf(p) != 1 {
+		t.Fatalf("port refs = %d, want 1 (message refs released)", refsOf(p))
+	}
+	p.Destroy()
+}
+
+func TestPortTryReceive(t *testing.T) {
+	p := NewPort("p")
+	if _, err := p.TryReceive(); !errors.Is(err, ErrNoReceiver) {
+		t.Fatalf("TryReceive on empty = %v, want ErrNoReceiver", err)
+	}
+	msg := NewMessage(p, nil, 1)
+	if err := p.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.TryReceive()
+	if err != nil || got.Op != 1 {
+		t.Fatalf("TryReceive = %v, %v", got, err)
+	}
+	got.Destroy()
+	p.Destroy()
+}
+
+func TestPortQueueLimit(t *testing.T) {
+	p := NewPort("p")
+	p.SetQueueLimit(2)
+	m1, m2, m3 := NewMessage(p, nil, 1), NewMessage(p, nil, 2), NewMessage(p, nil, 3)
+	if p.Send(m1) != nil || p.Send(m2) != nil {
+		t.Fatal("sends under limit failed")
+	}
+	if err := p.Send(m3); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overlimit send = %v, want ErrQueueFull", err)
+	}
+	m3.Destroy()
+	if p.QueueLen() != 2 {
+		t.Fatalf("queue len = %d", p.QueueLen())
+	}
+	p.Destroy() // drains and destroys m1, m2
+}
+
+func TestBlockedReceiverWokenBySend(t *testing.T) {
+	p := NewPort("p")
+	got := make(chan *Message, 1)
+	rx := sched.Go("rx", func(self *sched.Thread) {
+		m, err := p.Receive(self)
+		if err != nil {
+			t.Errorf("Receive: %v", err)
+			got <- nil
+			return
+		}
+		got <- m
+	})
+	// Let the receiver block.
+	deadline := time.Now().Add(2 * time.Second)
+	for rx.Blocks() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("receiver never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Send(NewMessage(p, nil, 9)); err != nil {
+		t.Fatal(err)
+	}
+	rx.Join()
+	m := <-got
+	if m == nil || m.Op != 9 {
+		t.Fatalf("received %+v", m)
+	}
+	m.Destroy()
+	p.Destroy()
+}
+
+func TestDestroyWakesBlockedReceiver(t *testing.T) {
+	p := NewPort("p")
+	p.TakeRef() // keep structure alive past Destroy for the receiver
+	errc := make(chan error, 1)
+	rx := sched.Go("rx", func(self *sched.Thread) {
+		_, err := p.Receive(self)
+		errc <- err
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for rx.Blocks() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("receiver never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Destroy()
+	rx.Join()
+	if err := <-errc; !errors.Is(err, ErrPortDead) {
+		t.Fatalf("Receive after destroy = %v, want ErrPortDead", err)
+	}
+	p.Release(nil)
+}
+
+func TestSendToDeadPortFails(t *testing.T) {
+	p := NewPort("p")
+	p.TakeRef()
+	p.Destroy()
+	msg := NewMessage(p, nil, 1)
+	if err := p.Send(msg); !errors.Is(err, ErrPortDead) {
+		t.Fatalf("send to dead port = %v, want ErrPortDead", err)
+	}
+	msg.Destroy()
+	p.Release(nil)
+}
+
+func TestKObjectTranslationClonesReference(t *testing.T) {
+	p := NewPort("p")
+	k := newKobj("task")
+	k.TakeRef() // clone the reference the port will hold
+	p.SetKObject(KindTask, k)
+	if refsOf(k) != 2 {
+		t.Fatalf("refs after SetKObject = %d, want 2 (creator + port)", refsOf(k))
+	}
+	kind, obj, err := p.KObject()
+	if err != nil || kind != KindTask || obj != k {
+		t.Fatalf("KObject = %v %v %v", kind, obj, err)
+	}
+	if refsOf(k) != 3 {
+		t.Fatalf("refs after translation = %d, want 3 (cloned)", refsOf(k))
+	}
+	obj.Release(nil)
+	p.Destroy() // releases the port's reference too
+	if refsOf(k) != 1 {
+		t.Fatalf("refs after destroy = %d, want 1", refsOf(k))
+	}
+}
+
+func TestKObjectTranslationFailsOnDeadPort(t *testing.T) {
+	p := NewPort("p")
+	p.TakeRef()
+	k := newKobj("task")
+	k.TakeRef()
+	p.SetKObject(KindTask, k)
+	p.Destroy()
+	if _, _, err := p.KObject(); !errors.Is(err, ErrPortDead) {
+		t.Fatalf("translation on dead port = %v, want ErrPortDead", err)
+	}
+	p.Release(nil)
+}
+
+func TestKObjectTranslationFailsUnregistered(t *testing.T) {
+	p := NewPort("p")
+	if _, _, err := p.KObject(); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("translation = %v, want ErrNotRegistered", err)
+	}
+	p.Destroy()
+}
+
+func TestStripKObjectTransfersReference(t *testing.T) {
+	p := NewPort("p")
+	k := newKobj("task")
+	k.TakeRef()
+	p.SetKObject(KindTask, k)
+	obj, ok := p.StripKObject()
+	if !ok || obj != k {
+		t.Fatal("strip failed")
+	}
+	// Translation is now disabled.
+	if _, _, err := p.KObject(); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("translation after strip = %v", err)
+	}
+	// We own the stripped reference.
+	if refsOf(k) != 2 {
+		t.Fatalf("refs = %d, want 2", refsOf(k))
+	}
+	obj.Release(nil)
+	p.Destroy()
+}
+
+func TestDoubleSetKObjectPanics(t *testing.T) {
+	p := NewPort("p")
+	k := newKobj("a")
+	k.TakeRef()
+	p.SetKObject(KindTask, k)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double SetKObject did not panic")
+		}
+	}()
+	p.SetKObject(KindTask, k)
+}
+
+func TestMessageDoubleDestroyPanics(t *testing.T) {
+	p := NewPort("p")
+	m := NewMessage(p, nil, 1)
+	m.Destroy()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double destroy did not panic")
+		}
+		p.Destroy()
+	}()
+	m.Destroy()
+}
+
+func TestMessageReplyConstruction(t *testing.T) {
+	dest := NewPort("dest")
+	reply := NewPort("reply")
+	req := NewMessage(dest, reply, 5, "payload")
+	r := NewReply(req, "result")
+	if r == nil || r.Dest != reply || r.Op != 5 || r.Body[0] != "result" {
+		t.Fatalf("reply = %+v", r)
+	}
+	e := NewErrorReply(req, ErrPortDead)
+	if e == nil || !errors.Is(e.Err, ErrPortDead) {
+		t.Fatalf("error reply = %+v", e)
+	}
+	oneway := NewMessage(dest, nil, 5)
+	if NewReply(oneway) != nil {
+		t.Fatal("reply to one-way message not nil")
+	}
+	r.Destroy()
+	e.Destroy()
+	req.Destroy()
+	oneway.Destroy()
+	if refsOf(dest) != 1 || refsOf(reply) != 1 {
+		t.Fatalf("leaked refs: dest=%d reply=%d", refsOf(dest), refsOf(reply))
+	}
+	dest.Destroy()
+	reply.Destroy()
+}
+
+func TestPortDestroyIdempotentConcurrent(t *testing.T) {
+	p := NewPort("p")
+	for i := 0; i < 3; i++ {
+		p.TakeRef()
+	}
+	done := make(chan struct{}, 4)
+	for i := 0; i < 4; i++ {
+		go func() { p.Destroy(); done <- struct{}{} }()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if !p.Destroyed() {
+		t.Fatal("port not destroyed after all refs released")
+	}
+}
+
+// TestPortFIFOOrdering: messages are received in send order — the queue is
+// a queue, which the kernel operation sequencing depends on.
+func TestPortFIFOOrdering(t *testing.T) {
+	p := NewPort("p")
+	p.SetQueueLimit(128)
+	th := sched.New("t")
+	for i := 0; i < 100; i++ {
+		if err := p.Send(NewMessage(p, nil, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, err := p.Receive(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Op != i {
+			t.Fatalf("position %d delivered op %d (order broken)", i, m.Op)
+		}
+		m.Destroy()
+	}
+	p.Destroy()
+}
+
+// TestPortPerSenderFIFO: each sender's messages stay in that sender's
+// order even when senders interleave.
+func TestPortPerSenderFIFO(t *testing.T) {
+	p := NewPort("p")
+	p.SetQueueLimit(4096)
+	const senders, per = 4, 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := p.Send(NewMessage(p, nil, s*1000+i)); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	last := map[int]int{}
+	th := sched.New("t")
+	for n := 0; n < senders*per; n++ {
+		m, err := p.Receive(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, i := m.Op/1000, m.Op%1000
+		if prev, ok := last[s]; ok && i != prev+1 {
+			t.Fatalf("sender %d: got %d after %d", s, i, prev)
+		}
+		last[s] = i
+		m.Destroy()
+	}
+	p.Destroy()
+}

@@ -1,0 +1,233 @@
+package ipc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"machlock/internal/sched"
+)
+
+func TestPortSetAddRemove(t *testing.T) {
+	ps := NewPortSet("set")
+	a, b := NewPort("a"), NewPort("b")
+	if err := ps.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if ps.Members() != 2 {
+		t.Fatalf("members = %d", ps.Members())
+	}
+	if err := ps.Add(a); !errors.Is(err, ErrAlreadyMember) {
+		t.Fatalf("double add = %v", err)
+	}
+	if err := ps.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Remove(a); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("double remove = %v", err)
+	}
+	if refsOf(a) != 1 {
+		t.Fatalf("port refs after remove = %d, want 1", refsOf(a))
+	}
+	ps.Destroy()
+	if refsOf(b) != 1 {
+		t.Fatalf("port b refs after set destroy = %d, want 1", refsOf(b))
+	}
+	a.Destroy()
+	b.Destroy()
+}
+
+func TestPortSetReceiveDrainsAnyMember(t *testing.T) {
+	ps := NewPortSet("set")
+	a, b := NewPort("a"), NewPort("b")
+	ps.Add(a)
+	ps.Add(b)
+	th := sched.New("t")
+
+	if err := b.Send(NewMessage(b, nil, 42)); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := ps.Receive(th)
+	if err != nil || msg.Op != 42 {
+		t.Fatalf("receive = %+v, %v", msg, err)
+	}
+	msg.Destroy()
+	ps.Destroy()
+	a.Destroy()
+	b.Destroy()
+}
+
+func TestPortSetBlockedReceiverWokenByMemberSend(t *testing.T) {
+	ps := NewPortSet("set")
+	a := NewPort("a")
+	ps.Add(a)
+	got := make(chan *Message, 1)
+	rx := sched.Go("rx", func(self *sched.Thread) {
+		m, err := ps.Receive(self)
+		if err != nil {
+			t.Errorf("receive: %v", err)
+			got <- nil
+			return
+		}
+		got <- m
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for rx.Blocks() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("receiver never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.Send(NewMessage(a, nil, 7)); err != nil {
+		t.Fatal(err)
+	}
+	rx.Join()
+	m := <-got
+	if m == nil || m.Op != 7 {
+		t.Fatalf("got %+v", m)
+	}
+	m.Destroy()
+	ps.Destroy()
+	a.Destroy()
+}
+
+func TestPortSetRoundRobinNoStarvation(t *testing.T) {
+	ps := NewPortSet("set")
+	a, b := NewPort("a"), NewPort("b")
+	ps.Add(a)
+	ps.Add(b)
+	th := sched.New("t")
+	// Keep both queues non-empty; the receiver must alternate.
+	for i := 0; i < 4; i++ {
+		a.Send(NewMessage(a, nil, 1))
+		b.Send(NewMessage(b, nil, 2))
+	}
+	var seq []int
+	for i := 0; i < 8; i++ {
+		m, err := ps.Receive(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = append(seq, m.Op)
+		m.Destroy()
+	}
+	ones, twos := 0, 0
+	for _, op := range seq {
+		if op == 1 {
+			ones++
+		} else {
+			twos++
+		}
+	}
+	if ones != 4 || twos != 4 {
+		t.Fatalf("sequence %v: member starved", seq)
+	}
+	ps.Destroy()
+	a.Destroy()
+	b.Destroy()
+}
+
+func TestPortSetDestroyWakesReceiver(t *testing.T) {
+	ps := NewPortSet("set")
+	ps.TakeRef() // keep structure for the receiver's error path
+	errc := make(chan error, 1)
+	rx := sched.Go("rx", func(self *sched.Thread) {
+		_, err := ps.Receive(self)
+		errc <- err
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for rx.Blocks() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("receiver never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ps.Destroy()
+	rx.Join()
+	if err := <-errc; !errors.Is(err, ErrSetDead) {
+		t.Fatalf("receive after destroy = %v, want ErrSetDead", err)
+	}
+	ps.Release(nil)
+}
+
+func TestPortDestroyDetachesFromSet(t *testing.T) {
+	ps := NewPortSet("set")
+	a := NewPort("a")
+	ps.Add(a)
+	a.TakeRef()
+	a.Destroy()
+	if ps.Members() != 0 {
+		t.Fatalf("members after port destroy = %d", ps.Members())
+	}
+	a.Release(nil)
+	ps.Destroy()
+}
+
+func TestAddToDeadSetFails(t *testing.T) {
+	ps := NewPortSet("set")
+	ps.TakeRef()
+	ps.Destroy()
+	a := NewPort("a")
+	if err := ps.Add(a); !errors.Is(err, ErrSetDead) {
+		t.Fatalf("add to dead set = %v", err)
+	}
+	ps.Release(nil)
+	a.Destroy()
+}
+
+// TestPortSetServerLoop multiplexes two kernel objects' ports through one
+// set-driven server loop — the pattern port sets exist for.
+func TestPortSetServerLoop(t *testing.T) {
+	ps := NewPortSet("services")
+	ps.TakeRef()
+	portA, portB := NewPort("svc-a"), NewPort("svc-b")
+	objA, objB := newKobj("A"), newKobj("B")
+	objA.TakeRef()
+	objB.TakeRef()
+	portA.SetKObject(KindCustom, objA)
+	portB.SetKObject(KindCustom, objB)
+	ps.Add(portA)
+	ps.Add(portB)
+
+	srv := NewServer(Mach25)
+	srv.Register(KindCustom, 1, func(ctx *Context, obj KObject, req *Message) *Message {
+		return NewReply(req, obj.(*kobj).Name())
+	})
+	server := sched.Go("server", func(self *sched.Thread) {
+		for {
+			req, err := ps.Receive(self)
+			if err != nil {
+				return
+			}
+			if reply := srv.Dispatch(self, req); reply != nil {
+				if err := reply.Dest.Send(reply); err != nil {
+					reply.Destroy()
+				}
+			}
+		}
+	})
+
+	client := sched.New("client")
+	for i := 0; i < 10; i++ {
+		port, want := portA, "A"
+		if i%2 == 1 {
+			port, want = portB, "B"
+		}
+		resp, err := Call(client, port, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Err != nil || resp.Body[0] != want {
+			t.Fatalf("resp = %+v", resp)
+		}
+		resp.Destroy()
+	}
+	ps.Destroy()
+	server.Join()
+	portA.Destroy()
+	portB.Destroy()
+	ps.Release(nil)
+}

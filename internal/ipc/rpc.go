@@ -1,0 +1,236 @@
+package ipc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"machlock/internal/sched"
+)
+
+// Errors produced by the dispatcher.
+var (
+	ErrNoHandler = errors.New("ipc: no handler for operation")
+)
+
+// Semantics selects the reference-consumption convention of the interface
+// code, Section 10 step 4:
+//
+//   - Mach25: "Interface code releases the object reference" — always,
+//     success or failure; handlers never own the reference.
+//   - Mach30: "a successful operation consumes (uses or releases) the
+//     object reference, so the interface code releases the reference only
+//     if the operation fails" — handlers own the reference on success.
+type Semantics int
+
+const (
+	Mach25 Semantics = iota
+	Mach30
+)
+
+// Context carries per-dispatch state into handlers.
+type Context struct {
+	// Thread is the kernel thread executing the operation.
+	Thread *sched.Thread
+	// Server is the dispatching server.
+	Server *Server
+}
+
+// Handler executes one kernel operation on the translated object. It
+// receives the object with a cloned reference (step 2); under Mach25
+// semantics the dispatcher releases that reference afterwards, under Mach30
+// the handler owns it unless it returns an error reply. A nil return means
+// no reply (one-way operation).
+type Handler func(ctx *Context, obj KObject, req *Message) *Message
+
+// ServerStats is a snapshot of dispatcher accounting.
+type ServerStats struct {
+	Dispatches   int64
+	Failures     int64 // translation or handler-lookup failures
+	HandlerFails int64 // replies carrying errors
+}
+
+// Server is the kernel-side dispatcher: the role MiG-generated stubs and
+// the kernel's message loop play in Mach. Handlers are registered per
+// (object kind, operation).
+type Server struct {
+	Semantics Semantics
+
+	mu       sync.RWMutex
+	handlers map[Kind]map[int]Handler
+
+	dispatches   atomic.Int64
+	failures     atomic.Int64
+	handlerFails atomic.Int64
+}
+
+// NewServer creates a dispatcher with the given reference semantics.
+func NewServer(sem Semantics) *Server {
+	return &Server{Semantics: sem, handlers: make(map[Kind]map[int]Handler)}
+}
+
+// Register installs a handler for (kind, op).
+func (s *Server) Register(kind Kind, op int, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.handlers[kind] == nil {
+		s.handlers[kind] = make(map[int]Handler)
+	}
+	s.handlers[kind][op] = h
+}
+
+func (s *Server) lookup(kind Kind, op int) Handler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.handlers[kind][op]
+}
+
+// Dispatch executes the Section 10 kernel operation sequence for one
+// request message:
+//
+//  1. The request has been received (req carries its port references).
+//  2. The represented object is determined from the port and a reference
+//     is obtained to it.
+//  3. The handler executes; the object and its port cannot vanish because
+//     of the references held.
+//  4. The object reference is released per the server's Semantics.
+//  5. The reply is returned and the request message destroyed, releasing
+//     its port references.
+//
+// Dispatch returns the reply message (nil for one-way ops); the caller
+// sends it and owns it if the send fails.
+func (s *Server) Dispatch(t *sched.Thread, req *Message) *Message {
+	s.dispatches.Add(1)
+
+	// Step 2: port-to-object translation with reference acquisition.
+	kind, obj, err := req.Dest.KObject()
+	if err != nil {
+		s.failures.Add(1)
+		reply := NewErrorReply(req, err)
+		req.Destroy() // step 5 half: release request's port refs
+		return reply
+	}
+
+	h := s.lookup(kind, req.Op)
+	if h == nil {
+		s.failures.Add(1)
+		obj.Release(nil)
+		reply := NewErrorReply(req, ErrNoHandler)
+		req.Destroy()
+		return reply
+	}
+
+	// Step 3: the operation executes. The object's data structure cannot
+	// vanish: we hold a reference.
+	ctx := &Context{Thread: t, Server: s}
+	reply := h(ctx, obj, req)
+
+	// Step 4: release the object reference per semantics.
+	failed := reply != nil && reply.Err != nil
+	if failed {
+		s.handlerFails.Add(1)
+	}
+	switch s.Semantics {
+	case Mach25:
+		obj.Release(nil)
+	case Mach30:
+		if failed {
+			obj.Release(nil)
+		}
+		// On success the handler consumed (used or released) it.
+	}
+
+	// Step 5: destroy the request, releasing its port references.
+	req.Destroy()
+	return reply
+}
+
+// Serve runs a receive-dispatch-reply loop on a port until the port dies.
+// It is the kernel's message loop for one service port.
+func (s *Server) Serve(t *sched.Thread, port *Port) {
+	for {
+		req, err := port.Receive(t)
+		if err != nil {
+			return
+		}
+		reply := s.Dispatch(t, req)
+		if reply != nil {
+			if err := reply.Dest.Send(reply); err != nil {
+				reply.Destroy()
+			}
+		}
+	}
+}
+
+// Stats returns dispatcher accounting.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Dispatches:   s.dispatches.Load(),
+		Failures:     s.failures.Load(),
+		HandlerFails: s.handlerFails.Load(),
+	}
+}
+
+// Call performs a synchronous RPC: build a request to dest with a private
+// reply port, send it, and await the reply — the "pair of messages
+// [that] constitutes a remote procedure call (RPC) to the kernel"
+// (Section 3). The server side must be draining dest (see Serve).
+func Call(t *sched.Thread, dest *Port, op int, body ...any) (*Message, error) {
+	reply := NewPort("reply")
+	defer reply.Destroy()
+	req := NewMessage(dest, reply, op, body...)
+	if err := dest.Send(req); err != nil {
+		req.Destroy()
+		return nil, err
+	}
+	resp, err := reply.Receive(t)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Deactivatable is the object side of the Section 10 shutdown protocol.
+// Types embedding object.Object satisfy it.
+type Deactivatable interface {
+	KObject
+	Lock()
+	Unlock()
+	Deactivate() bool
+}
+
+// Shutdown runs the Section 10 shutdown sequence for an object represented
+// by a port:
+//
+//  1. Lock the object, set the deactivated flag, unlock.
+//  2. Lock the port, remove the object pointer and reference, unlock —
+//     disabling port-to-object translation — and release that reference.
+//  3. Run the object's shutdown/destroy step (destroy; it takes the locks
+//     it needs).
+//  4. Release the reference originally returned by object creation; final
+//     deletion happens when all other references are released.
+//
+// It returns false (doing nothing further) if another thread already
+// deactivated the object: concurrent shutdowns have exactly one winner.
+// The caller's own reference (e.g. the one acquired by translation) is not
+// consumed.
+func Shutdown(port *Port, obj Deactivatable, destroy func()) bool {
+	// Step 1.
+	obj.Lock()
+	won := obj.Deactivate()
+	obj.Unlock()
+	if !won {
+		return false
+	}
+	// Step 2.
+	if stripped, ok := port.StripKObject(); ok {
+		stripped.Release(nil)
+	}
+	// Step 3.
+	if destroy != nil {
+		destroy()
+	}
+	// Step 4.
+	obj.Release(nil)
+	return true
+}

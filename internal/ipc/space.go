@@ -1,0 +1,97 @@
+package ipc
+
+import (
+	"errors"
+
+	"machlock/internal/core/splock"
+)
+
+// Name is a task-local port name (a small integer in user space).
+type Name uint32
+
+// ErrBadName is returned when a name has no entry in the space.
+var ErrBadName = errors.New("ipc: no such port name")
+
+// Space is a per-task port name space: the translation table from names to
+// ports. Each entry holds a counted reference to its port; Translate clones
+// that reference for the caller — "Executing code performs a name to object
+// translation. This effectively clones the object reference held by the
+// name translation data structures." (Section 8.)
+//
+// The space has its own simple lock. In the task it corresponds to the
+// second task lock, the one that "allows task operations and ipc
+// translations to occur in parallel" (Section 5).
+type Space struct {
+	lock  splock.Lock
+	table map[Name]*Port
+	next  Name
+}
+
+// NewSpace creates an empty name space.
+func NewSpace() *Space {
+	return &Space{table: make(map[Name]*Port), next: 1}
+}
+
+// Insert registers a port under a fresh name, cloning a reference into the
+// table. The caller keeps its own reference.
+func (s *Space) Insert(p *Port) Name {
+	p.TakeRef()
+	s.lock.Lock()
+	n := s.next
+	s.next++
+	s.table[n] = p
+	s.lock.Unlock()
+	return n
+}
+
+// Translate resolves a name to its port, cloning a reference for the
+// caller. The table's own reference (held continuously under the space
+// lock) guarantees the port cannot vanish mid-clone.
+func (s *Space) Translate(n Name) (*Port, error) {
+	s.lock.Lock()
+	p, ok := s.table[n]
+	if !ok {
+		s.lock.Unlock()
+		return nil, ErrBadName
+	}
+	// Clone while the space lock pins the table's reference.
+	p.TakeRef()
+	s.lock.Unlock()
+	return p, nil
+}
+
+// Remove deletes a name, releasing the table's reference to the port.
+func (s *Space) Remove(n Name) error {
+	s.lock.Lock()
+	p, ok := s.table[n]
+	if !ok {
+		s.lock.Unlock()
+		return ErrBadName
+	}
+	delete(s.table, n)
+	s.lock.Unlock()
+	p.Release(nil)
+	return nil
+}
+
+// Len returns the number of live names.
+func (s *Space) Len() int {
+	s.lock.Lock()
+	defer s.lock.Unlock()
+	return len(s.table)
+}
+
+// DestroyAll removes every name, releasing all table references; used by
+// task termination.
+func (s *Space) DestroyAll() {
+	s.lock.Lock()
+	ports := make([]*Port, 0, len(s.table))
+	for n, p := range s.table {
+		ports = append(ports, p)
+		delete(s.table, n)
+	}
+	s.lock.Unlock()
+	for _, p := range ports {
+		p.Release(nil)
+	}
+}

@@ -1,0 +1,94 @@
+package ipc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestSpaceInsertTranslate(t *testing.T) {
+	s := NewSpace()
+	p := NewPort("p")
+	n := s.Insert(p)
+	if refsOf(p) != 2 {
+		t.Fatalf("refs after insert = %d, want 2 (creator + table)", refsOf(p))
+	}
+	got, err := s.Translate(n)
+	if err != nil || got != p {
+		t.Fatalf("Translate = %v, %v", got, err)
+	}
+	if refsOf(p) != 3 {
+		t.Fatalf("refs after translate = %d, want 3 (cloned for caller)", refsOf(p))
+	}
+	got.Release(nil)
+	if err := s.Remove(n); err != nil {
+		t.Fatal(err)
+	}
+	if refsOf(p) != 1 {
+		t.Fatalf("refs after remove = %d, want 1", refsOf(p))
+	}
+	p.Destroy()
+}
+
+func TestSpaceBadName(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Translate(99); !errors.Is(err, ErrBadName) {
+		t.Fatalf("Translate bad name = %v", err)
+	}
+	if err := s.Remove(99); !errors.Is(err, ErrBadName) {
+		t.Fatalf("Remove bad name = %v", err)
+	}
+}
+
+func TestSpaceNamesAreUnique(t *testing.T) {
+	s := NewSpace()
+	p := NewPort("p")
+	seen := make(map[Name]bool)
+	for i := 0; i < 100; i++ {
+		n := s.Insert(p)
+		if seen[n] {
+			t.Fatalf("name %d reused", n)
+		}
+		seen[n] = true
+	}
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.DestroyAll()
+	if s.Len() != 0 {
+		t.Fatal("names survive DestroyAll")
+	}
+	if refsOf(p) != 1 {
+		t.Fatalf("refs after DestroyAll = %d, want 1", refsOf(p))
+	}
+	p.Destroy()
+}
+
+func TestSpaceConcurrentTranslationNeverDangles(t *testing.T) {
+	// Translation clones under the space lock, so a concurrent Remove can
+	// never leave a caller with a dangling port: the clone happened while
+	// the table's reference pinned the structure.
+	s := NewSpace()
+	p := NewPort("p")
+	n := s.Insert(p)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				got, err := s.Translate(n)
+				if err != nil {
+					return // removed; fine
+				}
+				// The reference must be valid: locking proves it.
+				got.Lock()
+				got.Unlock()
+				got.Release(nil)
+			}
+		}()
+	}
+	s.Remove(n)
+	wg.Wait()
+	p.Destroy()
+}

@@ -1,0 +1,298 @@
+package kern
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"machlock/internal/ipc"
+	"machlock/internal/sched"
+	"machlock/internal/vm"
+)
+
+func newTask(name string) *Task {
+	return NewTask(name, vm.NewPool(16))
+}
+
+func TestTaskCreation(t *testing.T) {
+	task := newTask("init")
+	if task.Name() != "init" {
+		t.Fatalf("name = %q", task.Name())
+	}
+	if task.SelfPort() == nil || task.Map() == nil || task.Space() == nil {
+		t.Fatal("task missing resources")
+	}
+	// The self port translates back to the task.
+	kind, obj, err := task.SelfPort().KObject()
+	if err != nil || kind != ipc.KindTask || obj != task {
+		t.Fatalf("translation = %v %v %v", kind, obj, err)
+	}
+	obj.Release(nil)
+}
+
+func TestCreateThread(t *testing.T) {
+	task := newTask("t")
+	th, err := task.CreateThread("worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Task() != task {
+		t.Fatal("thread's task pointer wrong")
+	}
+	if task.ThreadCount() != 1 {
+		t.Fatalf("thread count = %d", task.ThreadCount())
+	}
+	if th.Sched() == nil {
+		t.Fatal("no schedulable identity")
+	}
+	kind, obj, err := th.SelfPort().KObject()
+	if err != nil || kind != ipc.KindThread || obj != th {
+		t.Fatalf("thread port translation = %v %v %v", kind, obj, err)
+	}
+	obj.Release(nil)
+}
+
+func TestThreadsSnapshotClonesRefs(t *testing.T) {
+	task := newTask("t")
+	a, _ := task.CreateThread("a")
+	b, _ := task.CreateThread("b")
+	snap := task.Threads()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %d", len(snap))
+	}
+	for _, th := range snap {
+		th.Lock()
+		if th.Refs() < 4 { // creator + port + list + snapshot clone
+			t.Fatalf("thread %s refs = %d", th.Name(), th.Refs())
+		}
+		th.Unlock()
+		th.Release(nil)
+	}
+	_, _ = a, b
+}
+
+func TestSuspendResume(t *testing.T) {
+	task := newTask("t")
+	if err := task.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if task.SuspendCount() != 2 {
+		t.Fatalf("suspend count = %d", task.SuspendCount())
+	}
+	task.Resume()
+	task.Resume()
+	if err := task.Resume(); err == nil {
+		t.Fatal("resume below zero accepted")
+	}
+}
+
+func TestPortTranslationParallelToTaskOps(t *testing.T) {
+	// The two-lock design: port translations (ipc lock) proceed while
+	// task operations (task lock) run. We can't easily prove parallelism
+	// deterministically, but we can prove independence: translation works
+	// while the task lock is held.
+	task := newTask("t")
+	p := ipc.NewPort("svc")
+	n := task.InsertPort(p)
+
+	task.Lock() // task lock held...
+	got, err := task.TranslatePort(n)
+	task.Unlock()
+	if err != nil || got != p {
+		t.Fatalf("translate under task lock = %v %v", got, err)
+	}
+	got.Release(nil)
+	p.Destroy()
+}
+
+func TestTranslateBadName(t *testing.T) {
+	task := newTask("t")
+	if _, err := task.TranslatePort(999); !errors.Is(err, ipc.ErrBadName) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestThreadTerminate(t *testing.T) {
+	task := newTask("t")
+	th, _ := task.CreateThread("w")
+	// Hold references, as any code operating on the objects must; without
+	// them the structures are legitimately gone after terminate.
+	th.TakeRef()
+	port := th.SelfPort()
+	port.TakeRef()
+
+	if err := th.Terminate(nil); err != nil {
+		t.Fatal(err)
+	}
+	if task.ThreadCount() != 0 {
+		t.Fatal("thread still in task list")
+	}
+	// The thread's port no longer translates (it is dead).
+	if _, _, err := port.KObject(); err == nil {
+		t.Fatal("port still translates after terminate")
+	}
+	// Double-terminate loses cleanly.
+	if err := th.Terminate(nil); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("second terminate = %v", err)
+	}
+	port.Release(nil)
+	th.Release(nil)
+	if !th.Destroyed() {
+		t.Fatal("thread survived final release")
+	}
+}
+
+func TestThreadStructureSurvivesWhileReferenced(t *testing.T) {
+	task := newTask("t")
+	th, _ := task.CreateThread("w")
+	th.TakeRef() // our hold
+	if err := th.Terminate(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Deactivated but alive: we can lock and observe.
+	th.Lock()
+	if th.Active() {
+		t.Fatal("thread active after terminate")
+	}
+	th.Unlock()
+	th.Release(nil)
+	if !th.Destroyed() {
+		t.Fatal("thread not destroyed after last release")
+	}
+}
+
+func TestCreateThreadOnTerminatedTaskFails(t *testing.T) {
+	task := newTask("t")
+	task.TakeRef() // our hold: the structure must outlive termination
+	cur := sched.New("killer")
+	if err := task.Terminate(cur); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.CreateThread("late"); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("create on dead task = %v", err)
+	}
+	task.Release(nil)
+}
+
+func TestTaskTerminateKillsThreads(t *testing.T) {
+	task := newTask("t")
+	task.TakeRef()
+	defer task.Release(nil)
+	var ths []*Thread
+	for i := 0; i < 3; i++ {
+		th, err := task.CreateThread("w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		th.TakeRef() // keep structures observable
+		ths = append(ths, th)
+	}
+	cur := sched.New("killer")
+	if err := task.Terminate(cur); err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range ths {
+		th.Lock()
+		if th.Active() {
+			t.Fatal("thread survived task termination")
+		}
+		th.Unlock()
+		th.Release(nil)
+	}
+	if err := task.Terminate(cur); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("second task terminate = %v", err)
+	}
+}
+
+func TestTaskTerminateReleasesEverything(t *testing.T) {
+	pool := vm.NewPool(8)
+	task := NewTask("t", pool)
+	cur := sched.New("cur")
+	// Give the task some memory so teardown has something to free.
+	obj := vm.NewObject(pool, 4)
+	if err := task.Map().Allocate(cur, 0, 4, obj, 0); err != nil {
+		t.Fatal(err)
+	}
+	obj.Release(cur) // map entry keeps its own reference
+	for va := uint64(0); va < 4; va++ {
+		if err := task.Map().Fault(cur, va, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.FreeCount() != 4 {
+		t.Fatalf("setup free = %d", pool.FreeCount())
+	}
+	task.TakeRef() // hold so we can observe destruction explicitly
+	if err := task.Terminate(cur); err != nil {
+		t.Fatal(err)
+	}
+	if pool.FreeCount() != 8 {
+		t.Fatalf("pages not freed by task teardown: free = %d", pool.FreeCount())
+	}
+	task.Release(nil)
+	if !task.Destroyed() {
+		t.Fatal("task structure not destroyed after last reference")
+	}
+}
+
+func TestConcurrentTerminationsOneWinner(t *testing.T) {
+	task := newTask("t")
+	for i := 0; i < 4; i++ {
+		task.CreateThread("w")
+	}
+	task.TakeRef() // covers all racers' access to the structure
+	const racers = 6
+	wins := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cur := sched.New("killer")
+			if task.Terminate(cur) == nil {
+				mu.Lock()
+				wins++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if wins != 1 {
+		t.Fatalf("termination winners = %d, want 1", wins)
+	}
+	task.Release(nil)
+}
+
+func TestConcurrentCreateAndTerminate(t *testing.T) {
+	task := newTask("t")
+	task.TakeRef()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				th, err := task.CreateThread("w")
+				if err != nil {
+					return // task died; expected
+				}
+				th.Terminate(nil)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cur := sched.New("killer")
+		task.Terminate(cur)
+	}()
+	wg.Wait()
+	if task.ThreadCount() != 0 {
+		t.Fatalf("threads remain: %d", task.ThreadCount())
+	}
+	task.Release(nil)
+}

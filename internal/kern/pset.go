@@ -1,0 +1,227 @@
+package kern
+
+import (
+	"errors"
+	"fmt"
+
+	"machlock/internal/core/object"
+	"machlock/internal/core/splock"
+	"machlock/internal/hw"
+)
+
+// Processor sets are the paper's cited example of a subsystem designed on
+// top of its primitives after the fact: "The locking primitives have been
+// extensively used in subsequently designed kernel subsystems (e.g.,
+// processor allocation [3])." A processor set is a group of processors
+// that tasks can be assigned to; processors and tasks migrate between sets
+// under the set locks, and destroying a set migrates everything to the
+// default set — another instance of the Section 10 active-termination
+// shape.
+
+// ErrDefaultSet is returned by operations forbidden on the default set.
+var ErrDefaultSet = errors.New("kern: operation not allowed on the default processor set")
+
+// Processor is the kernel object for one (simulated) CPU.
+type Processor struct {
+	object.Object
+	cpu *hw.CPU
+	set *ProcessorSet // current assignment; the pointer is a counted ref
+}
+
+// CPU returns the underlying simulated processor.
+func (p *Processor) CPU() *hw.CPU { return p.cpu }
+
+// AssignedSet returns the processor's current set (borrowed pointer,
+// covered by the processor's reference to it).
+func (p *Processor) AssignedSet() *ProcessorSet {
+	p.Lock()
+	defer p.Unlock()
+	return p.set
+}
+
+// ProcessorSet is a named group of processors with assigned tasks.
+type ProcessorSet struct {
+	object.Object
+	host      *Host
+	isDefault bool
+	procs     []*Processor
+	tasks     []*Task
+}
+
+// Host owns the processor sets of one machine: the default set, the
+// machine's processors, and the assignment arbitration lock. Processor
+// reassignment locks two sets; instead of ordering set locks by address
+// each time, the host serializes reassignments with a single assignment
+// lock — the "order by type, and a designated arbiter above equal types"
+// convention of Section 5 in its simplest form.
+type Host struct {
+	machine    *hw.Machine
+	assignLock splock.Lock
+	defaultSet *ProcessorSet
+	procs      []*Processor
+}
+
+// NewHost builds the host state for a machine: a default processor set
+// containing a Processor per simulated CPU.
+func NewHost(m *hw.Machine) *Host {
+	h := &Host{machine: m}
+	h.defaultSet = h.newSet("default", true)
+	for i := 0; i < m.NCPU(); i++ {
+		p := &Processor{cpu: m.CPU(i)}
+		p.Init(fmt.Sprintf("cpu%d", i))
+		h.procs = append(h.procs, p)
+		h.attach(p, h.defaultSet)
+	}
+	return h
+}
+
+func (h *Host) newSet(name string, isDefault bool) *ProcessorSet {
+	s := &ProcessorSet{host: h, isDefault: isDefault}
+	s.Init(name)
+	return s
+}
+
+// DefaultSet returns the host's default processor set.
+func (h *Host) DefaultSet() *ProcessorSet { return h.defaultSet }
+
+// Processor returns processor i.
+func (h *Host) Processor(i int) *Processor { return h.procs[i] }
+
+// NewSet creates an empty, destroyable processor set.
+func (h *Host) NewSet(name string) *ProcessorSet { return h.newSet(name, false) }
+
+// attach links p into set (no prior set). Assignment lock held or
+// construction-time single-threaded.
+func (h *Host) attach(p *Processor, set *ProcessorSet) {
+	set.Lock()
+	set.Reference() // the processor's set pointer
+	set.procs = append(set.procs, p)
+	set.Unlock()
+	p.Lock()
+	p.set = set
+	p.Reference() // the set's member pointer to the processor
+	p.Unlock()
+}
+
+// Name-level invariants: every processor is in exactly one set; every
+// membership direction carries a reference.
+
+// AssignProcessor moves p into set s. Fails if s is deactivated. Moving
+// into the set already holding p is a no-op.
+func (h *Host) AssignProcessor(p *Processor, s *ProcessorSet) error {
+	h.assignLock.Lock()
+	defer h.assignLock.Unlock()
+
+	s.Lock()
+	if err := s.CheckActive(); err != nil {
+		s.Unlock()
+		return err
+	}
+	s.Unlock()
+
+	p.Lock()
+	old := p.set
+	p.Unlock()
+	if old == s {
+		return nil
+	}
+
+	// Detach from the old set.
+	old.Lock()
+	for i, x := range old.procs {
+		if x == p {
+			old.procs = append(old.procs[:i], old.procs[i+1:]...)
+			break
+		}
+	}
+	old.Unlock()
+	p.Release(nil) // the old set's member reference to p
+
+	// Attach to the new set: both membership pointers are counted
+	// references (Section 8, inter-object pointers).
+	s.Lock()
+	s.Reference() // p's set pointer
+	s.procs = append(s.procs, p)
+	s.Unlock()
+	p.Lock()
+	p.set = s
+	p.Reference() // s's member pointer to p
+	p.Unlock()
+	old.Release(nil) // p's reference to the old set
+	return nil
+}
+
+// AssignTask assigns a task to the set (tasks start unassigned in this
+// model). The set holds a reference to the task and vice versa is not
+// needed — tasks do not point back.
+func (s *ProcessorSet) AssignTask(t *Task) error {
+	s.Lock()
+	defer s.Unlock()
+	if err := s.CheckActive(); err != nil {
+		return err
+	}
+	t.TakeRef()
+	s.tasks = append(s.tasks, t)
+	return nil
+}
+
+// Processors returns a snapshot of the set's processors.
+func (s *ProcessorSet) Processors() []*Processor {
+	s.Lock()
+	defer s.Unlock()
+	out := make([]*Processor, len(s.procs))
+	copy(out, s.procs)
+	return out
+}
+
+// TaskCount returns the number of assigned tasks.
+func (s *ProcessorSet) TaskCount() int {
+	s.Lock()
+	defer s.Unlock()
+	return len(s.tasks)
+}
+
+// Destroy deactivates the set and migrates its processors and tasks to the
+// default set, per the processor-allocation design. The default set cannot
+// be destroyed. Exactly one concurrent destroyer wins.
+func (s *ProcessorSet) Destroy() error {
+	if s.isDefault {
+		return ErrDefaultSet
+	}
+	s.Lock()
+	won := s.Deactivate()
+	s.Unlock()
+	if !won {
+		return ErrTerminated
+	}
+
+	// Migrate processors (under the host assignment lock, as any
+	// reassignment). AssignProcessor tolerates the deactivated source.
+	for {
+		s.Lock()
+		if len(s.procs) == 0 {
+			break // keep s locked to grab the tasks below
+		}
+		p := s.procs[0]
+		s.Unlock()
+		if err := s.host.AssignProcessor(p, s.host.defaultSet); err != nil {
+			return err
+		}
+	}
+	tasks := s.tasks
+	s.tasks = nil
+	s.Unlock()
+
+	// Move the tasks to the default set; release this set's references.
+	for _, t := range tasks {
+		if err := s.host.defaultSet.AssignTask(t); err == nil {
+			t.Release(nil)
+		} else {
+			t.Release(nil)
+		}
+	}
+	// Creator's reference: the structure survives while others reference
+	// it (e.g. a processor mid-reassignment elsewhere).
+	s.Release(nil)
+	return nil
+}

@@ -1,0 +1,165 @@
+package kern
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"machlock/internal/hw"
+	"machlock/internal/vm"
+)
+
+func TestHostDefaultSetOwnsAllProcessors(t *testing.T) {
+	m := hw.New(4)
+	h := NewHost(m)
+	if got := len(h.DefaultSet().Processors()); got != 4 {
+		t.Fatalf("default set has %d processors, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		p := h.Processor(i)
+		if p.AssignedSet() != h.DefaultSet() {
+			t.Fatalf("cpu %d not in default set", i)
+		}
+		if p.CPU() != m.CPU(i) {
+			t.Fatalf("cpu %d wrong hw binding", i)
+		}
+	}
+}
+
+func TestAssignProcessorMovesBetweenSets(t *testing.T) {
+	m := hw.New(2)
+	h := NewHost(m)
+	s := h.NewSet("batch")
+	p := h.Processor(1)
+
+	if err := h.AssignProcessor(p, s); err != nil {
+		t.Fatal(err)
+	}
+	if p.AssignedSet() != s {
+		t.Fatal("processor not in new set")
+	}
+	if len(s.Processors()) != 1 || len(h.DefaultSet().Processors()) != 1 {
+		t.Fatalf("membership counts wrong: %d / %d",
+			len(s.Processors()), len(h.DefaultSet().Processors()))
+	}
+	// No-op reassign.
+	if err := h.AssignProcessor(p, s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Processors()) != 1 {
+		t.Fatal("no-op reassign duplicated membership")
+	}
+	// Move back.
+	if err := h.AssignProcessor(p, h.DefaultSet()); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.DefaultSet().Processors()) != 2 {
+		t.Fatal("processor lost on the way back")
+	}
+}
+
+func TestAssignToDeactivatedSetFails(t *testing.T) {
+	m := hw.New(2)
+	h := NewHost(m)
+	s := h.NewSet("batch")
+	s.TakeRef() // keep the structure observable past Destroy
+	if err := s.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AssignProcessor(h.Processor(0), s); err == nil {
+		t.Fatal("assignment to destroyed set succeeded")
+	}
+	task := NewTask("t", vm.NewPool(4))
+	if err := s.AssignTask(task); err == nil {
+		t.Fatal("task assignment to destroyed set succeeded")
+	}
+	s.Release(nil)
+}
+
+func TestDestroyMigratesEverythingToDefault(t *testing.T) {
+	m := hw.New(4)
+	h := NewHost(m)
+	s := h.NewSet("batch")
+	for i := 1; i < 4; i++ {
+		if err := h.AssignProcessor(h.Processor(i), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	task := NewTask("worker", vm.NewPool(4))
+	if err := s.AssignTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if s.TaskCount() != 1 || len(s.Processors()) != 3 {
+		t.Fatal("setup wrong")
+	}
+
+	if err := s.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.DefaultSet().Processors()); got != 4 {
+		t.Fatalf("default set has %d processors after destroy, want 4", got)
+	}
+	if h.DefaultSet().TaskCount() != 1 {
+		t.Fatal("task not migrated to default set")
+	}
+	for i := 0; i < 4; i++ {
+		if h.Processor(i).AssignedSet() != h.DefaultSet() {
+			t.Fatalf("cpu %d stranded", i)
+		}
+	}
+}
+
+func TestDestroyDefaultSetRefused(t *testing.T) {
+	h := NewHost(hw.New(1))
+	if err := h.DefaultSet().Destroy(); !errors.Is(err, ErrDefaultSet) {
+		t.Fatalf("err = %v, want ErrDefaultSet", err)
+	}
+}
+
+func TestDoubleDestroyLosesCleanly(t *testing.T) {
+	h := NewHost(hw.New(1))
+	s := h.NewSet("x")
+	s.TakeRef()
+	defer s.Release(nil)
+	if err := s.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Destroy(); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("second destroy = %v, want ErrTerminated", err)
+	}
+}
+
+func TestConcurrentReassignmentStress(t *testing.T) {
+	m := hw.New(4)
+	h := NewHost(m)
+	sets := []*ProcessorSet{h.DefaultSet(), h.NewSet("a"), h.NewSet("b")}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := h.Processor((seed + i) % 4)
+				s := sets[(seed*7+i)%3]
+				if err := h.AssignProcessor(p, s); err != nil {
+					t.Errorf("assign: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Invariant: every processor in exactly one set, memberships coherent.
+	total := 0
+	for _, s := range sets {
+		for _, p := range s.Processors() {
+			if p.AssignedSet() != s {
+				t.Fatalf("processor %s membership mismatch", p.Name())
+			}
+			total++
+		}
+	}
+	if total != 4 {
+		t.Fatalf("processors across sets = %d, want 4", total)
+	}
+}

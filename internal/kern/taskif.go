@@ -1,0 +1,130 @@
+package kern
+
+import (
+	"machlock/internal/ipc"
+	"machlock/internal/mig"
+)
+
+// The task interface: the kernel operations user programs invoke on a
+// task's self port, defined through the MiG-style stub layer exactly as
+// Section 10 describes ("The request message is received… The represented
+// object is determined from the port and a reference is obtained… The
+// operation executes… Interface code releases the object reference").
+//
+// Install the interface on a dispatcher, serve the task's self port, and
+// clients drive the task with typed calls:
+//
+//	srv := kern.TaskInterface().Server(ipc.Mach25)
+//	go srv.Serve(kernelThread, task.SelfPort())
+//	…
+//	r, err := mig.Call[kern.TaskSuspendArgs, kern.TaskSuspendReply](
+//	    self, taskPort, kern.OpTaskSuspend, &kern.TaskSuspendArgs{})
+
+// Task interface operation numbers.
+const (
+	OpTaskInfo = iota + 100
+	OpTaskSuspend
+	OpTaskResume
+	OpTaskThreadCreate
+	OpTaskTerminate
+)
+
+// TaskInfoArgs requests task information.
+type TaskInfoArgs struct{}
+
+// TaskInfoReply carries the task's observable state.
+type TaskInfoReply struct {
+	Name         string
+	ThreadCount  int
+	SuspendCount int
+	PortNames    int
+}
+
+// TaskSuspendArgs / TaskSuspendReply wrap task_suspend.
+type TaskSuspendArgs struct{}
+
+// TaskSuspendReply reports the resulting suspend count.
+type TaskSuspendReply struct{ SuspendCount int }
+
+// TaskResumeArgs / TaskResumeReply wrap task_resume.
+type TaskResumeArgs struct{}
+
+// TaskResumeReply reports the resulting suspend count.
+type TaskResumeReply struct{ SuspendCount int }
+
+// ThreadCreateArgs names the new thread.
+type ThreadCreateArgs struct{ Name string }
+
+// ThreadCreateReply confirms creation.
+type ThreadCreateReply struct{ ThreadCount int }
+
+// TaskTerminateArgs / TaskTerminateReply wrap task_terminate.
+type TaskTerminateArgs struct{}
+
+// TaskTerminateReply reports whether this call won the termination race.
+type TaskTerminateReply struct{ Won bool }
+
+// TaskInterface builds the typed task interface. Each handler follows the
+// kernel-operation discipline: the dispatcher has already translated the
+// port and acquired a reference, so the task structure cannot vanish; the
+// handler's own locking re-checks liveness.
+func TaskInterface() *mig.Interface {
+	iface := mig.NewInterface(ipc.KindTask)
+
+	mig.Define(iface, OpTaskInfo, "task_info",
+		func(ctx *ipc.Context, obj ipc.KObject, a *TaskInfoArgs) (*TaskInfoReply, error) {
+			task := obj.(*Task)
+			task.Lock()
+			if err := task.CheckActive(); err != nil {
+				task.Unlock()
+				return nil, err
+			}
+			reply := &TaskInfoReply{
+				Name:         task.Name(),
+				ThreadCount:  len(task.threads),
+				SuspendCount: task.suspend,
+			}
+			task.Unlock()
+			// The name space has its own lock (the second task lock);
+			// taking it after the task lock is released keeps the two
+			// independent, as the two-lock design intends.
+			reply.PortNames = task.Space().Len()
+			return reply, nil
+		})
+
+	mig.Define(iface, OpTaskSuspend, "task_suspend",
+		func(ctx *ipc.Context, obj ipc.KObject, a *TaskSuspendArgs) (*TaskSuspendReply, error) {
+			task := obj.(*Task)
+			if err := task.Suspend(); err != nil {
+				return nil, err
+			}
+			return &TaskSuspendReply{SuspendCount: task.SuspendCount()}, nil
+		})
+
+	mig.Define(iface, OpTaskResume, "task_resume",
+		func(ctx *ipc.Context, obj ipc.KObject, a *TaskResumeArgs) (*TaskResumeReply, error) {
+			task := obj.(*Task)
+			if err := task.Resume(); err != nil {
+				return nil, err
+			}
+			return &TaskResumeReply{SuspendCount: task.SuspendCount()}, nil
+		})
+
+	mig.Define(iface, OpTaskThreadCreate, "thread_create",
+		func(ctx *ipc.Context, obj ipc.KObject, a *ThreadCreateArgs) (*ThreadCreateReply, error) {
+			task := obj.(*Task)
+			if _, err := task.CreateThread(a.Name); err != nil {
+				return nil, err
+			}
+			return &ThreadCreateReply{ThreadCount: task.ThreadCount()}, nil
+		})
+
+	mig.Define(iface, OpTaskTerminate, "task_terminate",
+		func(ctx *ipc.Context, obj ipc.KObject, a *TaskTerminateArgs) (*TaskTerminateReply, error) {
+			task := obj.(*Task)
+			err := task.Terminate(ctx.Thread)
+			return &TaskTerminateReply{Won: err == nil}, nil
+		})
+
+	return iface
+}

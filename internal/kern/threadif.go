@@ -1,0 +1,128 @@
+package kern
+
+import (
+	"errors"
+
+	"machlock/internal/ipc"
+	"machlock/internal/mig"
+)
+
+// The thread interface: the operations user programs invoke on a thread's
+// self port, mirroring the task interface. Suspend/resume manipulate the
+// thread's suspend count under its object lock; terminate runs the
+// Section 10 shutdown protocol.
+
+// Thread interface operation numbers.
+const (
+	OpThreadInfo = iota + 200
+	OpThreadSuspend
+	OpThreadResume
+	OpThreadTerminate
+)
+
+// ThreadInfoArgs requests thread information.
+type ThreadInfoArgs struct{}
+
+// ThreadInfoReply carries the thread's observable state.
+type ThreadInfoReply struct {
+	Name         string
+	TaskName     string
+	SuspendCount int
+}
+
+// ThreadSuspendArgs / ThreadSuspendReply wrap thread_suspend.
+type ThreadSuspendArgs struct{}
+
+// ThreadSuspendReply reports the new suspend count.
+type ThreadSuspendReply struct{ SuspendCount int }
+
+// ThreadResumeArgs / ThreadResumeReply wrap thread_resume.
+type ThreadResumeArgs struct{}
+
+// ThreadResumeReply reports the new suspend count.
+type ThreadResumeReply struct{ SuspendCount int }
+
+// ThreadTerminateArgs / ThreadTerminateReply wrap thread_terminate.
+type ThreadTerminateArgs struct{}
+
+// ThreadTerminateReply reports whether this call won the termination race.
+type ThreadTerminateReply struct{ Won bool }
+
+// Suspend increments the thread's suspend count.
+func (th *Thread) Suspend() error {
+	th.Lock()
+	defer th.Unlock()
+	if err := th.CheckActive(); err != nil {
+		return ErrTerminated
+	}
+	th.suspend++
+	return nil
+}
+
+// Resume decrements the thread's suspend count.
+func (th *Thread) Resume() error {
+	th.Lock()
+	defer th.Unlock()
+	if err := th.CheckActive(); err != nil {
+		return ErrTerminated
+	}
+	if th.suspend == 0 {
+		return errors.New("kern: resume of non-suspended thread")
+	}
+	th.suspend--
+	return nil
+}
+
+// SuspendCount returns the thread's suspend count.
+func (th *Thread) SuspendCount() int {
+	th.Lock()
+	defer th.Unlock()
+	return th.suspend
+}
+
+// ThreadInterface builds the typed thread interface for dispatchers.
+func ThreadInterface() *mig.Interface {
+	iface := mig.NewInterface(ipc.KindThread)
+
+	mig.Define(iface, OpThreadInfo, "thread_info",
+		func(ctx *ipc.Context, obj ipc.KObject, a *ThreadInfoArgs) (*ThreadInfoReply, error) {
+			th := obj.(*Thread)
+			th.Lock()
+			defer th.Unlock()
+			if err := th.CheckActive(); err != nil {
+				return nil, err
+			}
+			reply := &ThreadInfoReply{Name: th.Name(), SuspendCount: th.suspend}
+			if th.task != nil {
+				reply.TaskName = th.task.Name()
+			}
+			return reply, nil
+		})
+
+	mig.Define(iface, OpThreadSuspend, "thread_suspend",
+		func(ctx *ipc.Context, obj ipc.KObject, a *ThreadSuspendArgs) (*ThreadSuspendReply, error) {
+			th := obj.(*Thread)
+			if err := th.Suspend(); err != nil {
+				return nil, err
+			}
+			return &ThreadSuspendReply{SuspendCount: th.SuspendCount()}, nil
+		})
+
+	mig.Define(iface, OpThreadResume, "thread_resume",
+		func(ctx *ipc.Context, obj ipc.KObject, a *ThreadResumeArgs) (*ThreadResumeReply, error) {
+			th := obj.(*Thread)
+			if err := th.Resume(); err != nil {
+				return nil, err
+			}
+			return &ThreadResumeReply{SuspendCount: th.SuspendCount()}, nil
+		})
+
+	mig.Define(iface, OpThreadTerminate, "thread_terminate",
+		func(ctx *ipc.Context, obj ipc.KObject, a *ThreadTerminateArgs) (*ThreadTerminateReply, error) {
+			th := obj.(*Thread)
+			err := th.Terminate(ctx.Thread)
+			return &ThreadTerminateReply{Won: err == nil}, nil
+		})
+
+	return iface
+}

@@ -1,0 +1,88 @@
+package kern
+
+import (
+	"testing"
+
+	"machlock/internal/ipc"
+	"machlock/internal/mig"
+	"machlock/internal/sched"
+	"machlock/internal/vm"
+)
+
+// serveThread puts a thread's self port behind the typed thread interface.
+func serveThread(t *testing.T, th *Thread) (stop func()) {
+	t.Helper()
+	srv := ThreadInterface().Server(ipc.Mach25)
+	port := th.SelfPort()
+	port.TakeRef()
+	server := sched.Go("thread-server", func(self *sched.Thread) {
+		srv.Serve(self, port)
+		port.Release(nil)
+	})
+	return func() {
+		port.TakeRef()
+		port.Destroy()
+		server.Join()
+	}
+}
+
+func TestThreadInterfaceInfoSuspendResume(t *testing.T) {
+	task := NewTask("app", vm.NewPool(4))
+	th, err := task.CreateThread("worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := serveThread(t, th)
+	defer stop()
+	self := sched.New("client")
+	port := th.SelfPort()
+
+	info, err := mig.Call[ThreadInfoArgs, ThreadInfoReply](self, port, OpThreadInfo, &ThreadInfoArgs{})
+	if err != nil || info.Name != "worker" || info.TaskName != "app" || info.SuspendCount != 0 {
+		t.Fatalf("info = %+v, %v", info, err)
+	}
+
+	s, err := mig.Call[ThreadSuspendArgs, ThreadSuspendReply](self, port, OpThreadSuspend, &ThreadSuspendArgs{})
+	if err != nil || s.SuspendCount != 1 {
+		t.Fatalf("suspend = %+v, %v", s, err)
+	}
+	r, err := mig.Call[ThreadResumeArgs, ThreadResumeReply](self, port, OpThreadResume, &ThreadResumeArgs{})
+	if err != nil || r.SuspendCount != 0 {
+		t.Fatalf("resume = %+v, %v", r, err)
+	}
+	if _, err := mig.Call[ThreadResumeArgs, ThreadResumeReply](self, port, OpThreadResume, &ThreadResumeArgs{}); err == nil {
+		t.Fatal("over-resume did not error")
+	}
+}
+
+func TestThreadInterfaceTerminate(t *testing.T) {
+	task := NewTask("app", vm.NewPool(4))
+	th, err := task.CreateThread("worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.TakeRef()
+	defer th.Release(nil)
+	port := th.SelfPort()
+	port.TakeRef()
+	defer port.Release(nil)
+	stop := serveThread(t, th)
+	defer stop()
+	self := sched.New("client")
+
+	term, err := mig.Call[ThreadTerminateArgs, ThreadTerminateReply](self, port, OpThreadTerminate, &ThreadTerminateArgs{})
+	if err != nil || !term.Won {
+		t.Fatalf("terminate = %+v, %v", term, err)
+	}
+	if task.ThreadCount() != 0 {
+		t.Fatal("thread still in task after terminate")
+	}
+	// Post-termination calls fail cleanly (translation disabled).
+	if _, err := mig.Call[ThreadInfoArgs, ThreadInfoReply](self, port, OpThreadInfo, &ThreadInfoArgs{}); err == nil {
+		t.Fatal("info on terminated thread succeeded")
+	}
+	// Suspend/resume on the deactivated structure fail with ErrTerminated.
+	if err := th.Suspend(); err == nil {
+		t.Fatal("suspend on terminated thread succeeded")
+	}
+}

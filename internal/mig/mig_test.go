@@ -1,0 +1,211 @@
+package mig
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"machlock/internal/core/object"
+	"machlock/internal/ipc"
+	"machlock/internal/sched"
+)
+
+// counter is the kernel object the test interface operates on.
+type counter struct {
+	object.Object
+	value int64
+}
+
+const (
+	opAdd = iota
+	opGet
+	opFail
+	opUndefined
+)
+
+type addArgs struct{ Delta int64 }
+type addReply struct{ New int64 }
+type getArgs struct{}
+type getReply struct{ Value int64 }
+type failArgs struct{ Msg string }
+type failReply struct{}
+
+func newCounterService(t *testing.T) (*ipc.Port, *counter, func()) {
+	t.Helper()
+	iface := NewInterface(ipc.KindCustom)
+	Define(iface, opAdd, "add", func(ctx *ipc.Context, obj ipc.KObject, a *addArgs) (*addReply, error) {
+		c := obj.(*counter)
+		c.Lock()
+		defer c.Unlock()
+		if err := c.CheckActive(); err != nil {
+			return nil, err
+		}
+		c.value += a.Delta
+		return &addReply{New: c.value}, nil
+	})
+	Define(iface, opGet, "get", func(ctx *ipc.Context, obj ipc.KObject, a *getArgs) (*getReply, error) {
+		c := obj.(*counter)
+		c.Lock()
+		defer c.Unlock()
+		return &getReply{Value: c.value}, nil
+	})
+	Define(iface, opFail, "fail", func(ctx *ipc.Context, obj ipc.KObject, a *failArgs) (*failReply, error) {
+		return nil, errors.New(a.Msg)
+	})
+
+	srv := iface.Server(ipc.Mach25)
+	port := ipc.NewPort("counter-port")
+	c := &counter{}
+	c.Init("counter")
+	c.TakeRef()
+	port.SetKObject(ipc.KindCustom, c)
+
+	port.TakeRef()
+	server := sched.Go("server", func(self *sched.Thread) {
+		srv.Serve(self, port)
+		port.Release(nil)
+	})
+	return port, c, func() {
+		port.Destroy()
+		server.Join()
+	}
+}
+
+func TestTypedRoundTrip(t *testing.T) {
+	port, _, stop := newCounterService(t)
+	defer stop()
+	self := sched.New("client")
+
+	r1, err := Call[addArgs, addReply](self, port, opAdd, &addArgs{Delta: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.New != 5 {
+		t.Fatalf("New = %d", r1.New)
+	}
+	r2, err := Call[addArgs, addReply](self, port, opAdd, &addArgs{Delta: -2})
+	if err != nil || r2.New != 3 {
+		t.Fatalf("r2 = %+v, %v", r2, err)
+	}
+	g, err := Call[getArgs, getReply](self, port, opGet, &getArgs{})
+	if err != nil || g.Value != 3 {
+		t.Fatalf("get = %+v, %v", g, err)
+	}
+}
+
+func TestHandlerErrorComesBackAsRemoteError(t *testing.T) {
+	port, _, stop := newCounterService(t)
+	defer stop()
+	self := sched.New("client")
+
+	_, err := Call[failArgs, failReply](self, port, opFail, &failArgs{Msg: "boom"})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v, want *RemoteError", err, err)
+	}
+	if re.Routine != "fail" || re.Msg != "boom" {
+		t.Fatalf("remote error = %+v", re)
+	}
+	if re.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestUndefinedRoutineFails(t *testing.T) {
+	port, _, stop := newCounterService(t)
+	defer stop()
+	self := sched.New("client")
+	_, err := Call[getArgs, getReply](self, port, opUndefined, &getArgs{})
+	if !errors.Is(err, ipc.ErrNoHandler) {
+		t.Fatalf("err = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestCallToDeadPort(t *testing.T) {
+	port, _, stop := newCounterService(t)
+	port.TakeRef() // callers must hold a reference to the structure
+	stop()         // kills the port
+	self := sched.New("client")
+	_, err := Call[getArgs, getReply](self, port, opGet, &getArgs{})
+	if !errors.Is(err, ipc.ErrPortDead) {
+		t.Fatalf("err = %v, want ErrPortDead", err)
+	}
+	port.Release(nil)
+}
+
+func TestDuplicateRoutinePanics(t *testing.T) {
+	iface := NewInterface(ipc.KindCustom)
+	Define(iface, 1, "a", func(ctx *ipc.Context, obj ipc.KObject, a *getArgs) (*getReply, error) {
+		return &getReply{}, nil
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Define(iface, 1, "b", func(ctx *ipc.Context, obj ipc.KObject, a *getArgs) (*getReply, error) {
+		return &getReply{}, nil
+	})
+}
+
+func TestRoutinesListing(t *testing.T) {
+	iface := NewInterface(ipc.KindCustom)
+	Define(iface, 7, "seven", func(ctx *ipc.Context, obj ipc.KObject, a *getArgs) (*getReply, error) {
+		return &getReply{}, nil
+	})
+	rs := iface.Routines()
+	if len(rs) != 1 || rs[7] != "seven" {
+		t.Fatalf("routines = %v", rs)
+	}
+	if iface.Kind() != ipc.KindCustom {
+		t.Fatal("kind wrong")
+	}
+}
+
+func TestReferenceBalanceThroughStubs(t *testing.T) {
+	port, c, stop := newCounterService(t)
+	self := sched.New("client")
+	for i := 0; i < 50; i++ {
+		if _, err := Call[addArgs, addReply](self, port, opAdd, &addArgs{Delta: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop()
+	// After the server stops: creator ref only (port's ref released by
+	// Destroy; every per-call translation reference was released by the
+	// dispatcher).
+	c.Lock()
+	refs := c.Refs()
+	c.Unlock()
+	if refs != 1 {
+		t.Fatalf("object refs after stub traffic = %d, want 1", refs)
+	}
+}
+
+func TestConcurrentTypedClients(t *testing.T) {
+	port, c, stop := newCounterService(t)
+	defer stop()
+	var clients []*sched.Thread
+	for i := 0; i < 4; i++ {
+		clients = append(clients, sched.Go(fmt.Sprintf("c%d", i), func(self *sched.Thread) {
+			for j := 0; j < 100; j++ {
+				if _, err := Call[addArgs, addReply](self, port, opAdd, &addArgs{Delta: 1}); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}))
+	}
+	for _, cl := range clients {
+		cl.Join()
+	}
+	c.Lock()
+	v := c.value
+	c.Unlock()
+	if v != 400 {
+		t.Fatalf("value = %d, want 400", v)
+	}
+}

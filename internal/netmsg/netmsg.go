@@ -1,0 +1,188 @@
+// Package netmsg implements the network message server role of Section 3:
+// "Most kernel operations are invoked by sending messages to the kernel,
+// permitting transparent remote invocation over networks."
+//
+// Transparency is literal: Proxy returns an ordinary local *ipc.Port.
+// Messages sent to it — by ipc.Call, by mig stubs, by anything — are
+// forwarded over the connection to the exporting side, delivered to the
+// real port there, and the replies travel back to the local sender's reply
+// port. Client code cannot tell whether a port is local or a network
+// proxy, which is exactly the property the paper describes.
+//
+// The wire format is gob-encoded frames; message bodies may carry the
+// basic types registered below (the mig stub layer only ever sends
+// []byte payloads, so typed interfaces cross the network unchanged).
+package netmsg
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+
+	"machlock/internal/ipc"
+	"machlock/internal/sched"
+)
+
+func init() {
+	// Concrete body types allowed across the wire.
+	gob.Register([]byte(nil))
+	gob.Register("")
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register(float64(0))
+	gob.Register(true)
+}
+
+// Errors surfaced by the proxy.
+var (
+	// ErrConnection reports a broken transport under an in-flight call.
+	ErrConnection = errors.New("netmsg: connection failed")
+)
+
+// RemoteError carries a remote-side failure (dispatcher or handler error)
+// back to the local caller as text; error identity does not cross the
+// wire.
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "netmsg(remote): " + e.Msg }
+
+// wireMsg is one frame: a request (Op, Body) or a reply (Op, Body, Err).
+type wireMsg struct {
+	Op   int
+	Body []any
+	Err  string
+}
+
+// Stats counts frames.
+type Stats struct {
+	RequestsForwarded int64
+	RepliesReturned   int64
+}
+
+var (
+	requestsForwarded atomic.Int64
+	repliesReturned   atomic.Int64
+)
+
+// GlobalStats returns package-wide frame counts.
+func GlobalStats() Stats {
+	return Stats{
+		RequestsForwarded: requestsForwarded.Load(),
+		RepliesReturned:   repliesReturned.Load(),
+	}
+}
+
+// ExportConn serves the target port over one connection: each decoded
+// request frame becomes a local RPC to target and the reply frame travels
+// back. It returns when the connection or the port dies. The caller's
+// reference to target covers the calls made here.
+func ExportConn(conn io.ReadWriteCloser, target *ipc.Port) error {
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	t := sched.New("netmsg-export")
+	for {
+		var req wireMsg
+		if err := dec.Decode(&req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		var out wireMsg
+		resp, err := ipc.Call(t, target, req.Op, req.Body...)
+		switch {
+		case err != nil:
+			out = wireMsg{Op: req.Op, Err: err.Error()}
+		case resp.Err != nil:
+			out = wireMsg{Op: resp.Op, Err: resp.Err.Error()}
+			resp.Destroy()
+		default:
+			out = wireMsg{Op: resp.Op, Body: resp.Body}
+			resp.Destroy()
+		}
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	}
+}
+
+// Export accepts connections and serves target on each until the listener
+// closes. Run it on its own goroutine.
+func Export(l net.Listener, target *ipc.Port) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() { _ = ExportConn(conn, target) }()
+	}
+}
+
+// ProxyConn builds the transparent local port for a connection to an
+// exporting side. The returned port carries the creator's reference; the
+// forwarder holds its own. Destroy the port to shut the proxy down (the
+// connection closes and the forwarder exits).
+//
+// Requests are forwarded one at a time in arrival order — the message
+// queue on the proxy port provides the buffering, exactly as a real port's
+// queue would.
+func ProxyConn(conn io.ReadWriteCloser, name string) *ipc.Port {
+	proxy := ipc.NewPort(name)
+	proxy.TakeRef() // the forwarder's reference
+	sched.Go("netmsg-proxy:"+name, func(t *sched.Thread) {
+		defer conn.Close()
+		defer proxy.Release(nil)
+		enc := gob.NewEncoder(conn)
+		dec := gob.NewDecoder(conn)
+		for {
+			req, err := proxy.Receive(t)
+			if err != nil {
+				return // proxy destroyed
+			}
+			requestsForwarded.Add(1)
+
+			var out wireMsg
+			werr := enc.Encode(wireMsg{Op: req.Op, Body: req.Body})
+			if werr == nil {
+				werr = dec.Decode(&out)
+			}
+			var reply *ipc.Message
+			switch {
+			case werr != nil:
+				reply = ipc.NewErrorReply(req, fmt.Errorf("%w: %v", ErrConnection, werr))
+			case out.Err != "":
+				reply = ipc.NewErrorReply(req, &RemoteError{Msg: out.Err})
+			default:
+				reply = ipc.NewReply(req, out.Body...)
+			}
+			if reply != nil {
+				repliesReturned.Add(1)
+				if err := reply.Dest.Send(reply); err != nil {
+					reply.Destroy()
+				}
+			}
+			req.Destroy()
+			if werr != nil {
+				return // transport is gone; stop forwarding
+			}
+		}
+	})
+	return proxy
+}
+
+// Proxy dials addr and returns the transparent port for it.
+func Proxy(addr, name string) (*ipc.Port, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ProxyConn(conn, name), nil
+}

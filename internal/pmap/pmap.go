@@ -1,0 +1,406 @@
+// Package pmap implements the machine-dependent physical map layer of
+// Mach's virtual memory system as described in Section 5 of the paper: the
+// physical maps (pmaps) that hold virtual-to-physical translations in MMU
+// format, and the physical-to-virtual (pv) lists that invert them.
+//
+// Both structures have locks, and the module contains routines that need
+// them in both orders: Enter/Remove work virtual-to-physical (pmap, then pv
+// list) while PageProtect works physical-to-virtual (pv list, then pmap).
+// The paper describes two resolutions, both implemented here and compared
+// by experiment E8:
+//
+//   - SystemLock: "a third lock (the pmap system lock) is used to arbitrate
+//     between the orders in which these locks may be acquired. In some
+//     systems this is a readers/writers lock, so that any procedure with a
+//     write lock on this lock can assume exclusive access to the pv lists."
+//     Forward operations take the system lock for reading and then both
+//     structure locks in pmap→pv order; reverse operations take it for
+//     writing, gaining exclusive pv access, and then only pmap locks.
+//
+//   - Backout: "a single attempt is made for the second lock, with failure
+//     causing the first one to be released and reacquired later." Forward
+//     operations lock pmap then pv unconditionally (the canonical order);
+//     reverse operations lock pv then *try* each pmap, backing all the way
+//     out and retrying on failure.
+package pmap
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"machlock/internal/core/cxlock"
+	"machlock/internal/core/splock"
+)
+
+// Prot is a page protection.
+type Prot uint8
+
+// Protections.
+const (
+	ProtNone  Prot = 0
+	ProtRead  Prot = 1
+	ProtWrite Prot = 2
+	ProtAll        = ProtRead | ProtWrite
+)
+
+// Mode selects the lock-order arbitration strategy.
+type Mode int
+
+const (
+	// SystemLock arbitrates with the pmap system readers/writers lock.
+	SystemLock Mode = iota
+	// Backout uses single-attempt acquisition with backout and retry.
+	Backout
+	// ClassArbitration uses the Section 5 custom lock with "two exclusive
+	// classes of readers": all forward (pmap→pv) operations share one
+	// class, all reverse (pv→pmap) operations the other. Same-class
+	// operations use identical lock orders and cannot deadlock; the
+	// classes exclude each other, so the orders never mix.
+	ClassArbitration
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case SystemLock:
+		return "system-lock"
+	case Backout:
+		return "backout"
+	case ClassArbitration:
+		return "class-lock"
+	default:
+		return "mode(?)"
+	}
+}
+
+// mapping is one virtual-to-physical translation.
+type mapping struct {
+	pa   uint64
+	prot Prot
+}
+
+// Pmap is one task's physical map. Its simple lock protects the
+// translation table. Pmap locks are spin locks acquired at splvm with
+// interrupts disabled in real Mach; the TLB shootdown package models that
+// interaction.
+type Pmap struct {
+	lock splock.Lock
+	sys  *System
+	id   int
+	ptes map[uint64]mapping
+}
+
+// pvEntry records that pmap maps va to this physical page.
+type pvEntry struct {
+	pm *Pmap
+	va uint64
+}
+
+// physPage is the per-physical-page state: its pv list and its lock.
+type physPage struct {
+	lock splock.Lock
+	pv   []pvEntry
+}
+
+// Stats is a snapshot of the system's operation accounting.
+type Stats struct {
+	Enters       int64
+	Removes      int64
+	PageProtects int64
+	Backouts     int64 // reverse-order attempts that had to release and retry
+}
+
+// System is the pmap module: a set of physical pages with pv lists, a
+// population of pmaps, the pmap system lock, and the configured arbitration
+// mode.
+type System struct {
+	mode      Mode
+	sysLock   cxlock.Lock       // the pmap system lock (spin readers/writers)
+	classLock *cxlock.ClassLock // the two-exclusive-reader-classes custom lock
+	pages     []physPage
+	nextID    atomic.Int64
+
+	enters       atomic.Int64
+	removes      atomic.Int64
+	pageProtects atomic.Int64
+	backouts     atomic.Int64
+}
+
+// NewSystem creates a pmap module managing npages physical pages.
+func NewSystem(mode Mode, npages int) *System {
+	s := &System{mode: mode, pages: make([]physPage, npages)}
+	s.sysLock.Init(false) // spin lock: pmap code never sleeps
+	s.classLock = cxlock.NewClassLock()
+	return s
+}
+
+// Mode returns the arbitration mode.
+func (s *System) Mode() Mode { return s.mode }
+
+// NPages returns the number of physical pages managed.
+func (s *System) NPages() int { return len(s.pages) }
+
+// NewPmap creates an empty physical map in this system.
+func (s *System) NewPmap() *Pmap {
+	return &Pmap{
+		sys:  s,
+		id:   int(s.nextID.Add(1)),
+		ptes: make(map[uint64]mapping),
+	}
+}
+
+func (s *System) page(pa uint64) *physPage {
+	if pa >= uint64(len(s.pages)) {
+		panic(fmt.Sprintf("pmap: physical page %d out of range", pa))
+	}
+	return &s.pages[pa]
+}
+
+// Enter establishes the translation va→pa with the given protection in pm
+// (pmap_enter). Forward order: pmap, then pv list(s). Replacing a mapping
+// that pointed at a different physical page must lock two pv lists — two
+// locks of the same type, acquired in address (page-number) order per the
+// paper's same-type convention.
+func (s *System) Enter(pm *Pmap, va, pa uint64, prot Prot) {
+	s.enters.Add(1)
+	switch s.mode {
+	case SystemLock:
+		s.sysLock.Read(nil)
+		defer s.sysLock.Done(nil)
+	case ClassArbitration:
+		s.classLock.Acquire(cxlock.Forward, nil)
+		defer s.classLock.Release(cxlock.Forward, nil)
+	}
+	pp := s.page(pa)
+	pm.lock.Lock()
+	defer pm.lock.Unlock()
+
+	old, had := pm.ptes[va]
+	if had && old.pa != pa {
+		oldPP := s.page(old.pa)
+		first, second := oldPP, pp
+		if pa < old.pa {
+			first, second = pp, oldPP
+		}
+		first.lock.Lock()
+		second.lock.Lock()
+		removePV(oldPP, pm, va)
+		pm.ptes[va] = mapping{pa: pa, prot: prot}
+		pp.pv = append(pp.pv, pvEntry{pm: pm, va: va})
+		second.lock.Unlock()
+		first.lock.Unlock()
+		return
+	}
+
+	pp.lock.Lock()
+	pm.ptes[va] = mapping{pa: pa, prot: prot}
+	if !had {
+		pp.pv = append(pp.pv, pvEntry{pm: pm, va: va})
+	}
+	pp.lock.Unlock()
+}
+
+// Remove deletes the translation for va from pm (pmap_remove). Forward
+// order, like Enter.
+func (s *System) Remove(pm *Pmap, va uint64) bool {
+	s.removes.Add(1)
+	switch s.mode {
+	case SystemLock:
+		s.sysLock.Read(nil)
+		defer s.sysLock.Done(nil)
+	case ClassArbitration:
+		s.classLock.Acquire(cxlock.Forward, nil)
+		defer s.classLock.Release(cxlock.Forward, nil)
+	}
+	pm.lock.Lock()
+	m, ok := pm.ptes[va]
+	if !ok {
+		pm.lock.Unlock()
+		return false
+	}
+	pp := s.page(m.pa)
+	pp.lock.Lock()
+	delete(pm.ptes, va)
+	removePV(pp, pm, va)
+	pp.lock.Unlock()
+	pm.lock.Unlock()
+	return true
+}
+
+func removePV(pp *physPage, pm *Pmap, va uint64) {
+	for i, e := range pp.pv {
+		if e.pm == pm && e.va == va {
+			pp.pv = append(pp.pv[:i], pp.pv[i+1:]...)
+			return
+		}
+	}
+}
+
+// PageProtect lowers the protection of every mapping of physical page pa
+// (pmap_page_protect, the shape of all reverse physical-to-virtual
+// operations). Reverse order: pv list first, then each pmap — resolved per
+// the system's mode. With ProtNone the mappings are removed entirely.
+func (s *System) PageProtect(pa uint64, prot Prot) {
+	s.pageProtects.Add(1)
+	pp := s.page(pa)
+	switch s.mode {
+	case SystemLock:
+		// Write hold on the system lock ⇒ exclusive access to ALL pv
+		// lists: no pv lock needed. Forward operations hold it for
+		// reading while they touch any pv list, so none are in flight.
+		s.sysLock.Write(nil)
+		for _, e := range snapshotPV(pp) {
+			e.pm.lock.Lock()
+			s.protectOne(pp, e, prot)
+			e.pm.lock.Unlock()
+		}
+		s.sysLock.Done(nil)
+	case ClassArbitration:
+		// Reverse class: pv list first, then each pmap — safe because
+		// every concurrent holder uses this same order (forward-order
+		// users are excluded by the class lock).
+		s.classLock.Acquire(cxlock.Reverse, nil)
+		pp.lock.Lock()
+		for i := 0; i < len(pp.pv); {
+			e := pp.pv[i]
+			e.pm.lock.Lock()
+			s.protectOne(pp, e, prot)
+			e.pm.lock.Unlock()
+			if prot == ProtNone {
+				continue // protectOne removed pp.pv[i]
+			}
+			i++
+		}
+		pp.lock.Unlock()
+		s.classLock.Release(cxlock.Reverse, nil)
+	case Backout:
+		for {
+			pp.lock.Lock()
+			done := true
+			for i := 0; i < len(pp.pv); {
+				e := pp.pv[i]
+				if !e.pm.lock.TryLock() {
+					// Reverse of the usual order: single attempt,
+					// failure backs all the way out and retries.
+					s.backouts.Add(1)
+					done = false
+					break
+				}
+				s.protectOne(pp, e, prot)
+				e.pm.lock.Unlock()
+				if prot == ProtNone {
+					// protectOne removed pp.pv[i]; don't advance.
+					continue
+				}
+				i++
+			}
+			pp.lock.Unlock()
+			if done {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// snapshotPV copies the pv list; with the system write lock held no
+// forward operation can mutate it concurrently.
+func snapshotPV(pp *physPage) []pvEntry {
+	out := make([]pvEntry, len(pp.pv))
+	copy(out, pp.pv)
+	return out
+}
+
+// protectOne applies prot to one pv entry; both relevant locks (or the
+// system write lock standing in for the pv lock) are held.
+func (s *System) protectOne(pp *physPage, e pvEntry, prot Prot) {
+	if prot == ProtNone {
+		delete(e.pm.ptes, e.va)
+		removePV(pp, e.pm, e.va)
+		return
+	}
+	if m, ok := e.pm.ptes[e.va]; ok {
+		m.prot &= prot
+		e.pm.ptes[e.va] = m
+	}
+}
+
+// Lookup returns the translation for va in pm, if any.
+func (pm *Pmap) Lookup(va uint64) (pa uint64, prot Prot, ok bool) {
+	pm.lock.Lock()
+	defer pm.lock.Unlock()
+	m, found := pm.ptes[va]
+	return m.pa, m.prot, found
+}
+
+// Len returns the number of translations in pm.
+func (pm *Pmap) Len() int {
+	pm.lock.Lock()
+	defer pm.lock.Unlock()
+	return len(pm.ptes)
+}
+
+// ID returns the pmap's identifier.
+func (pm *Pmap) ID() int { return pm.id }
+
+// MappingsOf returns the number of pv entries for physical page pa. Like
+// every forward-direction pv access it holds the system lock for reading in
+// SystemLock mode (a write holder assumes exclusive pv access, so readers
+// must announce themselves).
+func (s *System) MappingsOf(pa uint64) int {
+	switch s.mode {
+	case SystemLock:
+		s.sysLock.Read(nil)
+		defer s.sysLock.Done(nil)
+	case ClassArbitration:
+		s.classLock.Acquire(cxlock.Forward, nil)
+		defer s.classLock.Release(cxlock.Forward, nil)
+	}
+	pp := s.page(pa)
+	pp.lock.Lock()
+	defer pp.lock.Unlock()
+	return len(pp.pv)
+}
+
+// Stats returns operation accounting.
+func (s *System) Stats() Stats {
+	return Stats{
+		Enters:       s.enters.Load(),
+		Removes:      s.removes.Load(),
+		PageProtects: s.pageProtects.Load(),
+		Backouts:     s.backouts.Load(),
+	}
+}
+
+// CheckInvariants verifies that ptes and pv lists are mutual inverses; it
+// takes the whole system quiescent (callers must stop mutators first).
+// Returns an error describing the first inconsistency found.
+func (s *System) CheckInvariants(pmaps []*Pmap) error {
+	// Every pte must have a pv entry.
+	for _, pm := range pmaps {
+		for va, m := range pm.ptes {
+			pp := s.page(m.pa)
+			found := false
+			for _, e := range pp.pv {
+				if e.pm == pm && e.va == va {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("pmap %d: pte %d→%d has no pv entry", pm.id, va, m.pa)
+			}
+		}
+	}
+	// Every pv entry must have a pte pointing back.
+	for pa := range s.pages {
+		for _, e := range s.pages[pa].pv {
+			m, ok := e.pm.ptes[e.va]
+			if !ok || m.pa != uint64(pa) {
+				return fmt.Errorf("page %d: pv entry (pmap %d, va %d) has no matching pte", pa, e.pm.id, e.va)
+			}
+		}
+	}
+	return nil
+}

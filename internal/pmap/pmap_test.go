@@ -1,0 +1,249 @@
+package pmap
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func modes() []Mode { return []Mode{SystemLock, Backout, ClassArbitration} }
+
+func TestEnterLookup(t *testing.T) {
+	for _, mode := range modes() {
+		s := NewSystem(mode, 16)
+		pm := s.NewPmap()
+		s.Enter(pm, 0x1000, 3, ProtAll)
+		pa, prot, ok := pm.Lookup(0x1000)
+		if !ok || pa != 3 || prot != ProtAll {
+			t.Fatalf("%v: lookup = %d %d %v", mode, pa, prot, ok)
+		}
+		if s.MappingsOf(3) != 1 {
+			t.Fatalf("%v: pv entries = %d, want 1", mode, s.MappingsOf(3))
+		}
+		if pm.Len() != 1 {
+			t.Fatalf("%v: len = %d", mode, pm.Len())
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	for _, mode := range modes() {
+		s := NewSystem(mode, 16)
+		pm := s.NewPmap()
+		s.Enter(pm, 0x1000, 3, ProtAll)
+		if !s.Remove(pm, 0x1000) {
+			t.Fatalf("%v: remove failed", mode)
+		}
+		if _, _, ok := pm.Lookup(0x1000); ok {
+			t.Fatalf("%v: mapping survived remove", mode)
+		}
+		if s.MappingsOf(3) != 0 {
+			t.Fatalf("%v: pv entry survived remove", mode)
+		}
+		if s.Remove(pm, 0x1000) {
+			t.Fatalf("%v: removing absent mapping returned true", mode)
+		}
+	}
+}
+
+func TestEnterReplaceSamePage(t *testing.T) {
+	for _, mode := range modes() {
+		s := NewSystem(mode, 16)
+		pm := s.NewPmap()
+		s.Enter(pm, 0x1000, 3, ProtAll)
+		s.Enter(pm, 0x1000, 3, ProtRead)
+		_, prot, _ := pm.Lookup(0x1000)
+		if prot != ProtRead {
+			t.Fatalf("%v: prot = %d, want read", mode, prot)
+		}
+		if s.MappingsOf(3) != 1 {
+			t.Fatalf("%v: duplicate pv entry on same-page replace", mode)
+		}
+	}
+}
+
+func TestEnterReplaceDifferentPage(t *testing.T) {
+	for _, mode := range modes() {
+		s := NewSystem(mode, 16)
+		pm := s.NewPmap()
+		s.Enter(pm, 0x1000, 3, ProtAll)
+		s.Enter(pm, 0x1000, 7, ProtAll)
+		pa, _, _ := pm.Lookup(0x1000)
+		if pa != 7 {
+			t.Fatalf("%v: pa = %d, want 7", mode, pa)
+		}
+		if s.MappingsOf(3) != 0 {
+			t.Fatalf("%v: stale pv entry on old page", mode)
+		}
+		if s.MappingsOf(7) != 1 {
+			t.Fatalf("%v: missing pv entry on new page", mode)
+		}
+		if err := s.CheckInvariants([]*Pmap{pm}); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestPageProtectLowersAllMappings(t *testing.T) {
+	for _, mode := range modes() {
+		s := NewSystem(mode, 16)
+		pms := []*Pmap{s.NewPmap(), s.NewPmap(), s.NewPmap()}
+		for i, pm := range pms {
+			s.Enter(pm, uint64(0x1000*(i+1)), 5, ProtAll)
+		}
+		s.PageProtect(5, ProtRead)
+		for i, pm := range pms {
+			_, prot, ok := pm.Lookup(uint64(0x1000 * (i + 1)))
+			if !ok || prot != ProtRead {
+				t.Fatalf("%v: pmap %d prot = %d %v, want read", mode, i, prot, ok)
+			}
+		}
+		if err := s.CheckInvariants(pms); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestPageProtectNoneRemovesAllMappings(t *testing.T) {
+	for _, mode := range modes() {
+		s := NewSystem(mode, 16)
+		pms := []*Pmap{s.NewPmap(), s.NewPmap()}
+		for i, pm := range pms {
+			s.Enter(pm, uint64(0x2000*(i+1)), 9, ProtAll)
+		}
+		s.PageProtect(9, ProtNone)
+		if s.MappingsOf(9) != 0 {
+			t.Fatalf("%v: pv entries remain after protect-none", mode)
+		}
+		for i, pm := range pms {
+			if _, _, ok := pm.Lookup(uint64(0x2000 * (i + 1))); ok {
+				t.Fatalf("%v: pte survived protect-none in pmap %d", mode, i)
+			}
+		}
+		if err := s.CheckInvariants(pms); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestOutOfRangePagePanics(t *testing.T) {
+	s := NewSystem(Backout, 4)
+	pm := s.NewPmap()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range page did not panic")
+		}
+	}()
+	s.Enter(pm, 0, 100, ProtAll)
+}
+
+func TestModeStrings(t *testing.T) {
+	if SystemLock.String() != "system-lock" || Backout.String() != "backout" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+// TestBothOrdersConcurrentlyStress is the Section 5 scenario itself:
+// forward operations (pmap→pv) racing reverse operations (pv→pmap) under
+// each arbitration strategy. The test passes if it neither deadlocks nor
+// corrupts the pte/pv inverse invariant.
+func TestBothOrdersConcurrentlyStress(t *testing.T) {
+	for _, mode := range modes() {
+		s := NewSystem(mode, 8)
+		const npm = 4
+		pms := make([]*Pmap, npm)
+		for i := range pms {
+			pms[i] = s.NewPmap()
+		}
+		var wg sync.WaitGroup
+		// Forward mutators.
+		for i := 0; i < npm; i++ {
+			wg.Add(1)
+			go func(pm *Pmap, seed uint64) {
+				defer wg.Done()
+				for j := 0; j < 400; j++ {
+					va := (seed*131 + uint64(j)*17) % 64
+					pa := (seed + uint64(j)) % 8
+					s.Enter(pm, va, pa, ProtAll)
+					if j%3 == 0 {
+						s.Remove(pm, va)
+					}
+				}
+			}(pms[i], uint64(i))
+		}
+		// Reverse mutators.
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				for j := 0; j < 200; j++ {
+					pa := uint64((seed + j) % 8)
+					if j%5 == 0 {
+						s.PageProtect(pa, ProtNone)
+					} else {
+						s.PageProtect(pa, ProtRead)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		if err := s.CheckInvariants(pms); err != nil {
+			t.Fatalf("%v: invariant violated: %v", mode, err)
+		}
+		if mode == Backout {
+			t.Logf("backout retries: %d", s.Stats().Backouts)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := NewSystem(SystemLock, 8)
+	pm := s.NewPmap()
+	s.Enter(pm, 1, 1, ProtAll)
+	s.Remove(pm, 1)
+	s.PageProtect(1, ProtRead)
+	st := s.Stats()
+	if st.Enters != 1 || st.Removes != 1 || st.PageProtects != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.NPages() != 8 {
+		t.Fatalf("NPages = %d", s.NPages())
+	}
+	if pm.ID() == 0 {
+		t.Fatal("pmap id not assigned")
+	}
+}
+
+// Property: any single-threaded sequence of Enter/Remove/PageProtect keeps
+// the pte↔pv invariant.
+func TestInvariantQuick(t *testing.T) {
+	type op struct {
+		Kind uint8
+		PM   uint8
+		VA   uint8
+		PA   uint8
+	}
+	for _, mode := range modes() {
+		f := func(ops []op) bool {
+			s := NewSystem(mode, 8)
+			pms := []*Pmap{s.NewPmap(), s.NewPmap()}
+			for _, o := range ops {
+				pm := pms[int(o.PM)%2]
+				va := uint64(o.VA % 32)
+				pa := uint64(o.PA % 8)
+				switch o.Kind % 4 {
+				case 0, 1:
+					s.Enter(pm, va, pa, ProtAll)
+				case 2:
+					s.Remove(pm, va)
+				case 3:
+					s.PageProtect(pa, Prot(o.VA%4))
+				}
+			}
+			return s.CheckInvariants(pms) == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package stats provides the shared measurement plumbing used by the
+// machlock experiment harness: cheap atomic counters, power-of-two latency
+// histograms, and a plain-text table printer whose output format is shared
+// by `go test -bench` drivers and the cmd/machbench binary.
+//
+// The package is intentionally tiny and allocation-free on the hot paths so
+// that instrumenting a lock does not perturb the contention behaviour being
+// measured.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+)
+
+// Counter is a monotonically adjustable atomic counter. The zero value is
+// ready to use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (which may be negative) to the counter.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Reset sets the counter back to zero and returns the previous value.
+func (c *Counter) Reset() int64 { return c.n.Swap(0) }
+
+// Histogram is a fixed-size power-of-two histogram of int64 samples
+// (typically nanosecond latencies or spin iteration counts). Bucket i counts
+// samples v with 2^(i-1) <= v < 2^i; bucket 0 counts v <= 0 and v == 1 falls
+// in bucket 1. The zero value is ready to use. All methods are safe for
+// concurrent use.
+type Histogram struct {
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	h.buckets[bucketFor(v)].Add(1)
+}
+
+func bucketFor(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 64 - bits.LeadingZeros64(uint64(v))
+	if b > 63 {
+		b = 63
+	}
+	return b
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed sample (zero if none).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean of the samples, or zero if none were
+// observed.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an estimate of the q-th quantile (0 <= q <= 1) using the
+// bucket upper bounds; it is accurate to within a factor of two, which is
+// sufficient for the order-of-magnitude comparisons the experiments make.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			return int64(1) << uint(i-1)
+		}
+	}
+	return h.max.Load()
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Table accumulates rows of experiment results and renders them as an
+// aligned plain-text table. It is the single output format shared by the
+// bench harness and cmd/machbench so that EXPERIMENTS.md rows can be
+// regenerated verbatim.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; each cell is rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case time.Duration:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without a fraction, small
+// values with enough precision to compare.
+func FormatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// WriteTo renders the table to w.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("-", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.WriteTo(&sb)
+	return sb.String()
+}
+
+// Ratio returns a/b, guarding against division by zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// PerSecond converts an operation count over an elapsed duration into a rate.
+func PerSecond(ops int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// SortedKeys returns the sorted keys of an int-keyed map; a convenience for
+// deterministic table output.
+func SortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

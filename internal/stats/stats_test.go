@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-2)
+	if got := c.Load(); got != 3 {
+		t.Fatalf("load = %d, want 3", got)
+	}
+	if got := c.Reset(); got != 3 {
+		t.Fatalf("reset returned %d", got)
+	}
+	if c.Load() != 0 {
+		t.Fatal("counter not zero after reset")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("load = %d", c.Load())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1106 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if m := h.Mean(); m < 221 || m > 222 {
+		t.Fatalf("mean = %f", m)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	h.Observe(100000)
+	// p50 must be in 10's bucket (power-of-two resolution: 8).
+	if q := h.Quantile(0.5); q > 16 {
+		t.Fatalf("p50 = %d", q)
+	}
+	// p100 lands in the top populated bucket.
+	if q := h.Quantile(1.0); q < 65536 {
+		t.Fatalf("p100 = %d", q)
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile nonzero")
+	}
+}
+
+func TestHistogramNonPositive(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("quantile of non-positive samples = %d", q)
+	}
+}
+
+// Property: quantile estimates are within 2x of the true value for
+// uniform-ish positive samples.
+func TestHistogramQuantileBoundQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		max := int64(0)
+		for _, r := range raw {
+			v := int64(r) + 1
+			h.Observe(v)
+			if v > max {
+				max = v
+			}
+		}
+		q := h.Quantile(1.0)
+		return q <= max && q*2 > max/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value", "rate")
+	tb.AddRow("x", 42, 3.14159)
+	tb.AddRow("y", time.Second, 1000000.0)
+	s := tb.String()
+	for _, want := range []string{"demo", "name", "x", "42", "3.14", "1s", "1000000"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	if len(tb.Rows) != 2 || len(tb.Rows[0]) != 3 {
+		t.Fatal("row shape wrong")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.14",
+		123.456: "123.5",
+		0.00123: "0.0012",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatioAndPerSecond(t *testing.T) {
+	if Ratio(10, 2) != 5 {
+		t.Fatal("ratio wrong")
+	}
+	if Ratio(10, 0) != 0 {
+		t.Fatal("ratio by zero not guarded")
+	}
+	if r := PerSecond(1000, time.Second); r != 1000 {
+		t.Fatalf("per second = %f", r)
+	}
+	if PerSecond(1000, 0) != 0 {
+		t.Fatal("per second by zero not guarded")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 2 || keys[2] != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+}

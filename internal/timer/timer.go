@@ -1,0 +1,120 @@
+// Package timer implements the usage-timing subsystem the paper cites as
+// the one exception to multiprocessor locking in the Mach kernel
+// (Section 2, referencing Black's "The Mach Timing Facility", 1990).
+//
+// Each timer is updated by exactly one processor — its owner — so no
+// mutual exclusion is needed for writes. Readers on other processors use
+// an "independently accessible memory cell per processor" technique: the
+// timer value is split into low and high words plus a check word, written
+// in a fixed order; a reader retries until it observes a consistent pair.
+// This trades a single-cell lock for a retry loop, exactly the contrast
+// the paper draws with multiprocessor locking solutions.
+//
+// The update protocol (writer, owner CPU only):
+//
+//  1. low += delta
+//  2. on low-word overflow: high++ … then … highCheck = high
+//
+// The read protocol (any CPU):
+//
+//  1. check := highCheck
+//  2. low   := low
+//  3. high  := high
+//  4. if check == high → value is (high, low); else retry
+//
+// If a rollover intervenes, high ≠ highCheck and the reader retries.
+package timer
+
+import (
+	"sync/atomic"
+)
+
+// LowMax is the low-word range: low ∈ [0, LowMax). Small enough that
+// rollovers actually happen in tests and benchmarks; the real facility used
+// the hardware word size.
+const LowMax = 1 << 32
+
+// Timer is a per-processor usage timer. One designated owner calls Add;
+// any processor may call Read. The zero value is a zeroed timer.
+type Timer struct {
+	low       atomic.Int64 // owner-written; always < LowMax
+	high      atomic.Int64 // rollover count, written first
+	highCheck atomic.Int64 // rollover count, written last
+}
+
+// Add accumulates delta (e.g. nanoseconds of usage) into the timer. Only
+// the owning processor may call Add; concurrent Adds are a protocol
+// violation (they would need the lock this design exists to avoid).
+func (t *Timer) Add(delta int64) {
+	if delta < 0 {
+		panic("timer: negative delta")
+	}
+	low := t.low.Load() + delta
+	if low >= LowMax {
+		// Rollover: bump high FIRST, publish the new low, and only
+		// then publish highCheck. A reader that catches the middle
+		// sees high != highCheck and retries.
+		t.high.Add(low / LowMax)
+		t.low.Store(low % LowMax)
+		t.highCheck.Store(t.high.Load())
+		return
+	}
+	t.low.Store(low)
+}
+
+// Read returns a consistent snapshot of the timer from any processor,
+// retrying while an update is mid-rollover. It also returns how many
+// retries were needed (0 in the common case), which experiment E12 reports.
+func (t *Timer) Read() (value int64, retries int) {
+	for {
+		check := t.highCheck.Load()
+		low := t.low.Load()
+		high := t.high.Load()
+		if check == high {
+			return high*LowMax + low, retries
+		}
+		retries++
+	}
+}
+
+// Value returns the timer value, discarding the retry count.
+func (t *Timer) Value() int64 {
+	v, _ := t.Read()
+	return v
+}
+
+// Set initializes the timer to an absolute value; owner only, and only
+// while no readers are active (used at thread creation).
+func (t *Timer) Set(v int64) {
+	if v < 0 {
+		panic("timer: negative value")
+	}
+	t.high.Store(v / LowMax)
+	t.low.Store(v % LowMax)
+	t.highCheck.Store(v / LowMax)
+}
+
+// Group is a set of per-processor timers, as the kernel keeps one usage
+// timer per CPU (plus per-thread timers charged to the running thread).
+type Group struct {
+	timers []Timer
+}
+
+// NewGroup creates n per-processor timers.
+func NewGroup(n int) *Group {
+	return &Group{timers: make([]Timer, n)}
+}
+
+// Timer returns processor i's timer.
+func (g *Group) Timer(i int) *Timer { return &g.timers[i] }
+
+// Total sums a consistent snapshot of every timer. Each individual read is
+// consistent; the total is a sum of per-timer snapshots (the facility's
+// documented semantics — totals are not globally atomic).
+func (g *Group) Total() int64 {
+	var sum int64
+	for i := range g.timers {
+		sum += g.timers[i].Value()
+	}
+	return sum
+}

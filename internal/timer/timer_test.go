@@ -1,0 +1,162 @@
+package timer
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var tm Timer
+	if v := tm.Value(); v != 0 {
+		t.Fatalf("zero timer = %d", v)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	var tm Timer
+	tm.Add(100)
+	tm.Add(250)
+	if v := tm.Value(); v != 350 {
+		t.Fatalf("value = %d, want 350", v)
+	}
+}
+
+func TestRollover(t *testing.T) {
+	var tm Timer
+	tm.Set(LowMax - 10)
+	tm.Add(25)
+	if v := tm.Value(); v != LowMax+15 {
+		t.Fatalf("value = %d, want %d", v, int64(LowMax+15))
+	}
+}
+
+func TestMultipleRolloversInOneAdd(t *testing.T) {
+	var tm Timer
+	tm.Add(3*LowMax + 7)
+	if v := tm.Value(); v != 3*LowMax+7 {
+		t.Fatalf("value = %d, want %d", v, int64(3*LowMax+7))
+	}
+}
+
+func TestSet(t *testing.T) {
+	var tm Timer
+	tm.Set(5*LowMax + 123)
+	if v := tm.Value(); v != 5*LowMax+123 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestNegativeDeltaPanics(t *testing.T) {
+	var tm Timer
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delta did not panic")
+		}
+	}()
+	tm.Add(-1)
+}
+
+func TestNegativeSetPanics(t *testing.T) {
+	var tm Timer
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative set did not panic")
+		}
+	}()
+	tm.Set(-5)
+}
+
+// TestConcurrentReadersSeeMonotonicConsistentValues is the core property:
+// one owner updating through rollovers, many lock-free readers, and no
+// reader ever observes a torn (inconsistent) or decreasing value.
+func TestConcurrentReadersSeeMonotonicConsistentValues(t *testing.T) {
+	var tm Timer
+	tm.Set(LowMax - 5000) // start near a rollover to exercise the window
+	const writes = 20000
+	var totalRetries atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, retries := tm.Read()
+				totalRetries.Add(int64(retries))
+				if v < last {
+					t.Errorf("timer went backwards: %d -> %d", last, v)
+					return
+				}
+				if low := v % LowMax; low < 0 {
+					t.Errorf("torn read: %d", v)
+					return
+				}
+				last = v
+			}
+		}()
+	}
+	for i := 0; i < writes; i++ {
+		tm.Add(1000) // rolls over every ~LowMax/1000 writes
+	}
+	close(stop)
+	wg.Wait()
+	want := int64(LowMax-5000) + int64(writes)*1000
+	if v := tm.Value(); v != want {
+		t.Fatalf("final value = %d, want %d", v, want)
+	}
+}
+
+func TestGroupTotal(t *testing.T) {
+	g := NewGroup(4)
+	for i := 0; i < 4; i++ {
+		g.Timer(i).Add(int64(100 * (i + 1)))
+	}
+	if total := g.Total(); total != 1000 {
+		t.Fatalf("total = %d, want 1000", total)
+	}
+}
+
+func TestGroupConcurrentOwners(t *testing.T) {
+	g := NewGroup(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tm := g.Timer(i)
+			for j := 0; j < 10000; j++ {
+				tm.Add(10)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if total := g.Total(); total != 4*10000*10 {
+		t.Fatalf("total = %d, want %d", total, 4*10000*10)
+	}
+}
+
+// Property: a sequence of adds equals its sum regardless of rollovers.
+func TestAddSumQuick(t *testing.T) {
+	f := func(deltas []uint32) bool {
+		var tm Timer
+		var sum int64
+		for _, d := range deltas {
+			// Scale up so rollovers occur within few adds.
+			dd := int64(d) * 4096
+			tm.Add(dd)
+			sum += dd
+		}
+		return tm.Value() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

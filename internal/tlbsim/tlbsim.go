@@ -1,0 +1,282 @@
+// Package tlbsim implements TLB consistency by shootdown over the
+// simulated multiprocessor, reproducing the interrupt-level barrier
+// synchronization of Section 7 of the paper (and of Black et al.,
+// "Translation Lookaside Buffer Consistency: A Software Approach",
+// ASPLOS 1989, the paper's reference [2]).
+//
+// A shootdown posts a TLB update to every other processor's update queue
+// and sends an inter-processor interrupt at splvm. The barrier semantics
+// are the dangerous part: "all involved processors must enter the interrupt
+// service routine before any can leave". A processor spinning for (or
+// holding) a pmap lock with interrupts disabled can therefore deadlock the
+// whole machine — the three-processor scenario of Section 7.
+//
+// The special logic the paper describes is implemented exactly: a
+// processor that registers itself as acquiring or holding a pmap lock with
+// interrupts disabled (ExemptBegin) is removed from the set of processors
+// that must participate in the barrier. "The TLB update is still posted
+// for that processor, and an interrupt is sent to it. The processor will
+// reenable interrupts, and hence take this interrupt before it touches
+// pageable memory again." Setting ExemptionDisabled reverts to the naive
+// barrier so the deadlock can be demonstrated (cmd/deadlockdemo, E9).
+package tlbsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"machlock/internal/core/splock"
+	"machlock/internal/hw"
+)
+
+// Update is one posted TLB change: invalidate VA (the only operation a
+// shootdown needs; refills come from the page tables afterwards).
+type Update struct {
+	VA uint64
+}
+
+// Stats is a snapshot of shootdown accounting.
+type Stats struct {
+	Shootdowns     int64
+	IPIs           int64
+	Exemptions     int64 // barrier participants skipped because exempt
+	UpdatesApplied int64
+	TimedOut       int64 // TryShootdown calls that gave up (deadlock detected)
+}
+
+// tlb is one processor's TLB.
+type tlb struct {
+	mu      sync.Mutex
+	entries map[uint64]uint64
+}
+
+// System is the TLB-consistency subsystem for one simulated machine.
+type System struct {
+	m *hw.Machine
+
+	// ExemptionDisabled turns off the pmap-spinner special logic,
+	// reproducing the deadlock the logic exists to prevent. Use only
+	// with TryShootdown.
+	ExemptionDisabled bool
+
+	shootLock splock.Lock // serializes shootdowns machine-wide
+
+	tlbs    []*tlb
+	queueMu []sync.Mutex
+	queues  [][]Update
+	exempt  []atomic.Bool
+
+	shootdowns     atomic.Int64
+	ipis           atomic.Int64
+	exemptions     atomic.Int64
+	updatesApplied atomic.Int64
+	timedOut       atomic.Int64
+}
+
+// New creates the TLB subsystem for machine m.
+func New(m *hw.Machine) *System {
+	n := m.NCPU()
+	s := &System{
+		m:       m,
+		tlbs:    make([]*tlb, n),
+		queueMu: make([]sync.Mutex, n),
+		queues:  make([][]Update, n),
+		exempt:  make([]atomic.Bool, n),
+	}
+	for i := range s.tlbs {
+		s.tlbs[i] = &tlb{entries: make(map[uint64]uint64)}
+	}
+	return s
+}
+
+// Fill loads a translation into cpu's TLB (as a hardware table walk would).
+func (s *System) Fill(c *hw.CPU, va, pa uint64) {
+	t := s.tlbs[c.ID()]
+	t.mu.Lock()
+	t.entries[va] = pa
+	t.mu.Unlock()
+}
+
+// Lookup consults cpu's TLB.
+func (s *System) Lookup(c *hw.CPU, va uint64) (uint64, bool) {
+	t := s.tlbs[c.ID()]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pa, ok := t.entries[va]
+	return pa, ok
+}
+
+// ExemptBegin registers cpu as acquiring or holding a pmap lock with
+// interrupts disabled: it raises the CPU to splvm and marks it exempt from
+// shootdown barriers. Returns the previous SPL for ExemptEnd.
+func (s *System) ExemptBegin(c *hw.CPU) hw.Level {
+	// Order matters: mark exempt BEFORE raising the SPL. An initiator
+	// that samples us non-exempt did so while our SPL still admitted the
+	// IPI... but the IPI may arrive after we raise it, so the barrier
+	// wait also re-checks exemption dynamically (see waitBarrier).
+	s.exempt[c.ID()].Store(true)
+	return c.SetSPL(hw.SPLVM)
+}
+
+// ExemptEnd clears the exemption and restores the SPL; lowering the SPL
+// delivers any pending shootdown IPI immediately, so the processor's TLB
+// is consistent "before it touches pageable memory again".
+func (s *System) ExemptEnd(c *hw.CPU, prev hw.Level) {
+	s.exempt[c.ID()].Store(false)
+	c.SetSPL(prev) // checkpoint: pending IPIs drain here
+}
+
+// Exempt reports whether cpu is currently exempt.
+func (s *System) Exempt(c *hw.CPU) bool { return s.exempt[c.ID()].Load() }
+
+// barrier is one shootdown's rendezvous state.
+type barrier struct {
+	arrived  []atomic.Bool
+	released atomic.Bool
+}
+
+// postUpdate queues an update for cpu id.
+func (s *System) postUpdate(id int, u Update) {
+	s.queueMu[id].Lock()
+	s.queues[id] = append(s.queues[id], u)
+	s.queueMu[id].Unlock()
+}
+
+// drain applies all pending updates to cpu's TLB.
+func (s *System) drain(c *hw.CPU) {
+	id := c.ID()
+	s.queueMu[id].Lock()
+	ups := s.queues[id]
+	s.queues[id] = nil
+	s.queueMu[id].Unlock()
+	if len(ups) == 0 {
+		return
+	}
+	t := s.tlbs[id]
+	t.mu.Lock()
+	for _, u := range ups {
+		delete(t.entries, u.VA)
+	}
+	t.mu.Unlock()
+	s.updatesApplied.Add(int64(len(ups)))
+}
+
+// Shootdown invalidates va in every processor's TLB, performing the full
+// interrupt-level barrier synchronization. It must be called from code
+// running on the initiating CPU. Blocks until the barrier completes (which
+// with exemptions enabled always happens).
+func (s *System) Shootdown(initiator *hw.CPU, va uint64) {
+	if !s.doShootdown(initiator, va, 0) {
+		panic("tlbsim: unbounded shootdown failed (impossible)")
+	}
+}
+
+// TryShootdown is Shootdown with a bound on barrier wait iterations; it
+// returns false if the barrier did not complete, which with
+// ExemptionDisabled set diagnoses the Section 7 deadlock. The TLB update
+// is posted regardless.
+func (s *System) TryShootdown(initiator *hw.CPU, va uint64, maxSpins int) bool {
+	return s.doShootdown(initiator, va, maxSpins)
+}
+
+func (s *System) doShootdown(initiator *hw.CPU, va uint64, maxSpins int) bool {
+	// Spin for the machine-wide shootdown lock WITH interrupts enabled:
+	// a competing initiator must keep taking the winner's IPI while it
+	// waits its turn, or two concurrent shootdowns deadlock each other.
+	for !s.shootLock.TryLock() {
+		initiator.Checkpoint()
+		runtime.Gosched()
+	}
+	defer s.shootLock.Unlock()
+	s.shootdowns.Add(1)
+
+	// The initiator runs the protocol at splvm: its own shootdown IPIs
+	// are blocked, and it must not take a competing shootdown mid-flight.
+	prev := initiator.SetSPL(hw.SPLVM)
+	defer initiator.Splx(prev)
+
+	n := s.m.NCPU()
+	b := &barrier{arrived: make([]atomic.Bool, n)}
+	u := Update{VA: va}
+
+	// Post the update and send the IPI to every other processor —
+	// including exempt ones, whose interrupt stays pending until they
+	// lower their SPL.
+	for id := 0; id < n; id++ {
+		if id == initiator.ID() {
+			continue
+		}
+		s.postUpdate(id, u)
+		s.ipis.Add(1)
+		s.m.IPI(id, hw.SPLVM, func(c *hw.CPU) {
+			s.drain(c)
+			b.arrived[c.ID()].Store(true)
+			// All involved processors must enter before any leaves.
+			for !b.released.Load() {
+				runtime.Gosched()
+			}
+		})
+	}
+
+	// Apply locally: this shootdown's update plus anything pending.
+	t := s.tlbs[initiator.ID()]
+	t.mu.Lock()
+	delete(t.entries, u.VA)
+	t.mu.Unlock()
+	s.updatesApplied.Add(1)
+	s.drain(initiator)
+	b.arrived[initiator.ID()].Store(true)
+
+	// Barrier wait: every other processor must have arrived or be
+	// exempt. Exemption is re-checked each iteration — this is the
+	// "special logic [that] removes a processor attempting to acquire or
+	// holding such a lock from the set of processors that must
+	// participate in the barrier synchronization".
+	spins := 0
+	for {
+		all := true
+		for id := 0; id < n; id++ {
+			if id == initiator.ID() || b.arrived[id].Load() {
+				continue
+			}
+			if !s.ExemptionDisabled && s.exempt[id].Load() {
+				continue
+			}
+			all = false
+			break
+		}
+		if all {
+			break
+		}
+		spins++
+		if maxSpins > 0 && spins >= maxSpins {
+			// Deadlock diagnosed. Release the barrier so arrived
+			// handlers do not spin forever, and report failure.
+			s.timedOut.Add(1)
+			b.released.Store(true)
+			return false
+		}
+		runtime.Gosched()
+	}
+
+	// Count how many of the targets we proceeded without.
+	for id := 0; id < n; id++ {
+		if id != initiator.ID() && !b.arrived[id].Load() {
+			s.exemptions.Add(1)
+		}
+	}
+	b.released.Store(true)
+	return true
+}
+
+// Stats returns shootdown accounting.
+func (s *System) Stats() Stats {
+	return Stats{
+		Shootdowns:     s.shootdowns.Load(),
+		IPIs:           s.ipis.Load(),
+		Exemptions:     s.exemptions.Load(),
+		UpdatesApplied: s.updatesApplied.Load(),
+		TimedOut:       s.timedOut.Load(),
+	}
+}

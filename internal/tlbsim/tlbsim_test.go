@@ -1,0 +1,256 @@
+package tlbsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"machlock/internal/hw"
+)
+
+func TestFillLookup(t *testing.T) {
+	m := hw.New(2)
+	s := New(m)
+	c := m.CPU(0)
+	s.Fill(c, 0x1000, 7)
+	if pa, ok := s.Lookup(c, 0x1000); !ok || pa != 7 {
+		t.Fatalf("lookup = %d %v", pa, ok)
+	}
+	if _, ok := s.Lookup(m.CPU(1), 0x1000); ok {
+		t.Fatal("TLBs are per-CPU; fill leaked")
+	}
+}
+
+// TestShootdownInvalidatesEverywhere runs worker goroutines on every other
+// CPU that poll for interrupts (as idle kernel loops do) while one CPU
+// shoots down a translation.
+func TestShootdownInvalidatesEverywhere(t *testing.T) {
+	m := hw.New(4)
+	s := New(m)
+	for i := 0; i < 4; i++ {
+		s.Fill(m.CPU(i), 0x2000, 9)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 1; i < 4; i++ {
+		wg.Add(1)
+		go func(c *hw.CPU) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Checkpoint()
+				}
+			}
+		}(m.CPU(i))
+	}
+	s.Shootdown(m.CPU(0), 0x2000)
+	close(stop)
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Lookup(m.CPU(i), 0x2000); ok {
+			t.Fatalf("cpu %d TLB entry survived shootdown", i)
+		}
+	}
+	st := s.Stats()
+	if st.Shootdowns != 1 || st.IPIs != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShootdownSingleCPUIsLocal(t *testing.T) {
+	m := hw.New(1)
+	s := New(m)
+	c := m.CPU(0)
+	s.Fill(c, 5, 5)
+	s.Shootdown(c, 5)
+	if _, ok := s.Lookup(c, 5); ok {
+		t.Fatal("local entry survived")
+	}
+	if s.Stats().IPIs != 0 {
+		t.Fatal("IPIs sent on uniprocessor")
+	}
+}
+
+// TestExemptCPUDoesNotBlockBarrier is the special logic of Section 7: a
+// processor holding a pmap lock with interrupts disabled is removed from
+// the barrier set; the update is still posted and applied when it
+// re-enables interrupts.
+func TestExemptCPUDoesNotBlockBarrier(t *testing.T) {
+	m := hw.New(2)
+	s := New(m)
+	locked := m.CPU(1)
+	s.Fill(locked, 0x3000, 4)
+
+	prev := s.ExemptBegin(locked) // CPU 1 "spinning on a pmap lock" at splvm
+	done := make(chan struct{})
+	go func() {
+		s.Shootdown(m.CPU(0), 0x3000) // must complete despite CPU 1 silent
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shootdown blocked on an exempt processor")
+	}
+	// The stale entry is still in CPU 1's TLB (it hasn't taken the IPI)…
+	if _, ok := s.Lookup(locked, 0x3000); !ok {
+		t.Fatal("entry vanished before the IPI was taken")
+	}
+	// …but ending the exemption (lowering SPL) drains it immediately.
+	s.ExemptEnd(locked, prev)
+	if _, ok := s.Lookup(locked, 0x3000); ok {
+		t.Fatal("pending update not applied when interrupts re-enabled")
+	}
+	if s.Stats().Exemptions != 1 {
+		t.Fatalf("exemptions = %d, want 1", s.Stats().Exemptions)
+	}
+	if s.Exempt(locked) {
+		t.Fatal("CPU still exempt after ExemptEnd")
+	}
+}
+
+// TestDeadlockWithoutExemption reproduces the failure the special logic
+// prevents: with exemption disabled, a shootdown against a processor that
+// has interrupts disabled never completes.
+func TestDeadlockWithoutExemption(t *testing.T) {
+	m := hw.New(2)
+	s := New(m)
+	s.ExemptionDisabled = true
+	locked := m.CPU(1)
+	prev := s.ExemptBegin(locked) // raises SPL; exemption flag ignored
+
+	if s.TryShootdown(m.CPU(0), 0x4000, 10000) {
+		t.Fatal("shootdown completed against a non-responsive CPU (deadlock not reproduced)")
+	}
+	if s.Stats().TimedOut != 1 {
+		t.Fatalf("timeouts = %d, want 1", s.Stats().TimedOut)
+	}
+	// Recovery: the spinner re-enables interrupts and drains.
+	s.ExemptEnd(locked, prev)
+}
+
+// TestConcurrentShootdownsSerialize checks that competing initiators make
+// progress (the shootdown lock spin keeps taking IPIs).
+func TestConcurrentShootdownsSerialize(t *testing.T) {
+	m := hw.New(4)
+	s := New(m)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Poller CPUs 2,3.
+	for i := 2; i < 4; i++ {
+		wg.Add(1)
+		go func(c *hw.CPU) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Checkpoint()
+					runtime.Gosched()
+				}
+			}
+		}(m.CPU(i))
+	}
+	// CPUs 0 and 1 both shoot down repeatedly. After finishing its own
+	// shootdowns each initiator keeps polling for interrupts: a CPU that
+	// stops taking IPIs would (correctly) stall every later barrier.
+	var initiators sync.WaitGroup
+	var finished sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		initiators.Add(1)
+		finished.Add(1)
+		go func(c *hw.CPU) {
+			defer initiators.Done()
+			for j := 0; j < 10; j++ {
+				s.Fill(c, uint64(j), uint64(j))
+				s.Shootdown(c, uint64(j))
+			}
+			finished.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Checkpoint()
+					runtime.Gosched()
+				}
+			}
+		}(m.CPU(i))
+	}
+	donec := make(chan struct{})
+	go func() { finished.Wait(); close(donec) }()
+	select {
+	case <-donec:
+	case <-time.After(20 * time.Second):
+		t.Fatal("concurrent shootdowns deadlocked")
+	}
+	close(stop)
+	wg.Wait()
+	initiators.Wait()
+	if s.Stats().Shootdowns != 20 {
+		t.Fatalf("shootdowns = %d, want 20", s.Stats().Shootdowns)
+	}
+}
+
+// TestSection7ThreeProcessorScenario reconstructs the paper's deadlock
+// cast with the fix in place: P1 holds a (simulated) pmap lock with
+// interrupts enabled; P2 spins for the lock with interrupts disabled
+// (exempt); P3 initiates barrier synchronization. With the exemption
+// logic, P3 completes.
+func TestSection7ThreeProcessorScenario(t *testing.T) {
+	m := hw.New(3)
+	s := New(m)
+	var lockWord atomic.Int32 // the pmap lock P1 holds and P2 wants
+	lockWord.Store(1)
+
+	// P2: interrupts disabled, spinning for the lock.
+	p2 := m.CPU(1)
+	prev := s.ExemptBegin(p2)
+	p2done := make(chan struct{})
+	go func() {
+		for lockWord.Load() != 0 { // spin without checkpointing: interrupts are off
+			time.Sleep(time.Millisecond)
+		}
+		s.ExemptEnd(p2, prev)
+		close(p2done)
+	}()
+
+	// P1: holds the lock, interrupts enabled, polling.
+	p1 := m.CPU(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p1.Checkpoint()
+			}
+		}
+	}()
+
+	// P3: initiates the barrier.
+	done := make(chan struct{})
+	go func() {
+		s.Shootdown(m.CPU(2), 0x5000)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("three-processor scenario deadlocked despite exemption logic")
+	}
+	lockWord.Store(0) // P1 releases; P2 stops spinning
+	<-p2done
+	close(stop)
+	wg.Wait()
+}

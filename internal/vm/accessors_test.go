@@ -1,0 +1,97 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"machlock/internal/sched"
+)
+
+func TestAccessors(t *testing.T) {
+	pool := NewPool(8)
+	m := NewMap(pool)
+	o := NewObject(pool, 8)
+	th := sched.New("t")
+
+	if o.Size() != 8 {
+		t.Fatalf("size = %d", o.Size())
+	}
+	if !strings.Contains(o.String(), "size=8") {
+		t.Fatalf("String = %q", o.String())
+	}
+	if m.DebugLock() == nil {
+		t.Fatal("DebugLock nil")
+	}
+
+	if err := m.Allocate(th, 0, 4, o, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fault(th, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	o.lock.Lock()
+	pg := o.pages[1]
+	o.lock.Unlock()
+	if !pg.Wired() {
+		t.Fatal("page not wired")
+	}
+	if pg.PA() > 7 {
+		t.Fatalf("pa = %d out of pool range", pg.PA())
+	}
+
+	// Map references: clone and release without destruction.
+	m.Reference()
+	m.Release(th) // drops the clone; map survives
+	if err := m.Fault(th, 2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageoutPasses(t *testing.T) {
+	pool := NewPool(2)
+	m := NewMap(pool)
+	o := NewObject(pool, 2)
+	th := sched.New("t")
+	if err := m.Allocate(th, 0, 2, o, 0); err != nil {
+		t.Fatal(err)
+	}
+	for va := uint64(0); va < 2; va++ {
+		if err := m.Fault(th, va, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pd := NewPageout(pool)
+	pd.AddMap(m)
+	pd.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for pd.Passes() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never ran a shortage pass")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pd.Stop()
+	if pd.Reclaims() == 0 {
+		t.Fatal("daemon reclaimed nothing from an exhausted pool")
+	}
+}
+
+func TestWireRecursiveRangeErrors(t *testing.T) {
+	pool := NewPool(8)
+	m := NewMap(pool)
+	o := NewObject(pool, 8)
+	th := sched.New("t")
+	m.Allocate(th, 0, 2, o, 0)
+	if err := m.WireRecursive(th, 0, 6); err != ErrNoEntry {
+		t.Fatalf("uncovered recursive wire = %v, want ErrNoEntry", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil-thread WireRecursive did not panic")
+			}
+		}()
+		m.WireRecursive(nil, 0, 2)
+	}()
+}

@@ -1,0 +1,121 @@
+package vm
+
+import (
+	"fmt"
+
+	"machlock/internal/sched"
+)
+
+// Entry clipping: Mach's map operations act on arbitrary address ranges by
+// splitting (clipping) entries at the range boundaries, so that wiring or
+// deallocating part of a region affects exactly that part. Clipping is a
+// pure entry-list transformation under the map's write lock; each new
+// entry takes its own counted reference on the backing object.
+
+// clipAt splits the entry at index i so that a new entry begins at addr
+// (which must lie strictly inside the entry). Map write lock held.
+func (m *Map) clipAt(i int, addr uint64) {
+	e := m.entries[i]
+	if addr <= e.start || addr >= e.end {
+		panic(fmt.Sprintf("vm: clip at %d outside entry [%d,%d)", addr, e.start, e.end))
+	}
+	tail := &Entry{
+		start:        addr,
+		end:          e.end,
+		object:       e.object,
+		offset:       e.offset + (addr - e.start),
+		wired:        e.wired,
+		inTransition: e.inTransition,
+	}
+	tail.object.Reference() // the new entry's pointer to the object
+	e.end = addr
+	m.entries = append(m.entries, nil)
+	copy(m.entries[i+2:], m.entries[i+1:])
+	m.entries[i+1] = tail
+}
+
+// clipRange splits entries so that the boundaries of [start, end) coincide
+// with entry boundaries, returning the entries exactly covering the range.
+// The range must be fully allocated. Map write lock held.
+func (m *Map) clipRange(start, end uint64) ([]*Entry, error) {
+	if end <= start {
+		return nil, fmt.Errorf("vm: bad range [%d, %d)", start, end)
+	}
+	// Verify coverage first so a partial failure clips nothing.
+	addr := start
+	for _, e := range m.entries {
+		if e.end <= addr {
+			continue
+		}
+		if e.start > addr {
+			return nil, ErrNoEntry
+		}
+		addr = e.end
+		if addr >= end {
+			break
+		}
+	}
+	if addr < end {
+		return nil, ErrNoEntry
+	}
+	// Clip the boundary entries.
+	for i := 0; i < len(m.entries); i++ {
+		e := m.entries[i]
+		if e.start < start && start < e.end {
+			m.clipAt(i, start)
+		}
+	}
+	for i := 0; i < len(m.entries); i++ {
+		e := m.entries[i]
+		if e.start < end && end < e.end {
+			m.clipAt(i, end)
+		}
+	}
+	// Collect the covered entries.
+	var out []*Entry
+	for _, e := range m.entries {
+		if e.start >= start && e.end <= end {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// DeallocateRange removes [start, end) from the map, clipping boundary
+// entries so that only the requested range is affected. Wired or
+// in-transition entries in the range refuse, leaving the map semantically
+// unchanged (the clips themselves are invisible). Resident pages stay
+// cached in their objects; they return to the pool when the object's last
+// reference drops or the pageout daemon reclaims them — object lifetime,
+// not mapping lifetime, owns the memory (Section 8).
+func (m *Map) DeallocateRange(t *sched.Thread, start, end uint64) error {
+	m.lock.Write(t)
+	entries, err := m.clipRange(start, end)
+	if err != nil {
+		m.lock.Done(t)
+		return err
+	}
+	for _, e := range entries {
+		if e.wired > 0 || e.inTransition {
+			m.lock.Done(t)
+			return fmt.Errorf("vm: entry at %d is wired", e.start)
+		}
+	}
+	kept := m.entries[:0]
+	var victims []*Entry
+	for _, e := range m.entries {
+		if e.start >= start && e.end <= end {
+			victims = append(victims, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	m.entries = kept
+	m.lock.Done(t)
+	// Release outside the map lock: a last release terminates the object
+	// and may block.
+	for _, e := range victims {
+		e.object.Release(t)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"machlock/internal/sched"
+)
+
+func TestPartialWireClipsEntry(t *testing.T) {
+	pool := NewPool(16)
+	m := NewMap(pool)
+	o := NewObject(pool, 16)
+	th := sched.New("t")
+	if err := m.Allocate(th, 0, 16, o, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Wire only the middle four pages of the sixteen-page entry.
+	if err := m.Wire(th, 6, 10); err != nil {
+		t.Fatal(err)
+	}
+	ents := m.Entries(th)
+	if len(ents) != 3 {
+		t.Fatalf("entries after clip = %d, want 3", len(ents))
+	}
+	for _, e := range ents {
+		wantWired := 0
+		if e.Start() == 6 && e.End() == 10 {
+			wantWired = 1
+		}
+		if e.WireCount() != wantWired {
+			t.Fatalf("entry [%d,%d) wired=%d, want %d", e.Start(), e.End(), e.WireCount(), wantWired)
+		}
+	}
+	if o.ResidentPages() != 4 {
+		t.Fatalf("resident = %d, want 4 (only the wired window faults)", o.ResidentPages())
+	}
+	// Unwire exactly that window.
+	if err := m.Unwire(th, 6, 10); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.ReclaimPages(th, 16); n != 4 {
+		t.Fatalf("reclaimed %d, want 4", n)
+	}
+}
+
+func TestConcurrentWiresOfDisjointSubranges(t *testing.T) {
+	// The case the kernel smoke test originally hit: two wires on
+	// disjoint parts of ONE entry must both succeed via clipping.
+	pool := NewPool(32)
+	m := NewMap(pool)
+	o := NewObject(pool, 32)
+	boss := sched.New("boss")
+	if err := m.Allocate(boss, 0, 32, o, 0); err != nil {
+		t.Fatal(err)
+	}
+	w1 := sched.Go("w1", func(self *sched.Thread) {
+		if err := m.Wire(self, 0, 8); err != nil {
+			t.Errorf("wire 1: %v", err)
+		}
+	})
+	w2 := sched.Go("w2", func(self *sched.Thread) {
+		if err := m.Wire(self, 16, 24); err != nil {
+			t.Errorf("wire 2: %v", err)
+		}
+	})
+	w1.Join()
+	w2.Join()
+	if o.ResidentPages() != 16 {
+		t.Fatalf("resident = %d, want 16", o.ResidentPages())
+	}
+}
+
+func TestClipPreservesFaultSemantics(t *testing.T) {
+	pool := NewPool(16)
+	m := NewMap(pool)
+	o := NewObject(pool, 16)
+	th := sched.New("t")
+	m.SetFetcher(func(_ *sched.Thread, _ *Object, off uint64) []byte {
+		return []byte{byte(off)}
+	})
+	if err := m.Allocate(th, 100, 16, o, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Wire(th, 104, 108); err != nil { // clips
+		t.Fatal(err)
+	}
+	// Fault outside the wired window: the clipped entries must still
+	// translate addresses to the right object offsets.
+	if err := m.Fault(th, 110, false); err != nil {
+		t.Fatal(err)
+	}
+	o.lock.Lock()
+	pg := o.pages[10]
+	o.lock.Unlock()
+	if pg == nil || pg.Data()[0] != 10 {
+		t.Fatalf("post-clip fault resolved wrong offset: %+v", pg)
+	}
+}
+
+func TestDeallocateRangeMiddleOfEntry(t *testing.T) {
+	pool := NewPool(16)
+	m := NewMap(pool)
+	o := NewObject(pool, 16)
+	th := sched.New("t")
+	if err := m.Allocate(th, 0, 16, o, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeallocateRange(th, 4, 12); err != nil {
+		t.Fatal(err)
+	}
+	ents := m.Entries(th)
+	if len(ents) != 2 {
+		t.Fatalf("entries = %d, want 2", len(ents))
+	}
+	// The hole must not fault.
+	if err := m.Fault(th, 8, false); err != ErrNoEntry {
+		t.Fatalf("fault in hole = %v, want ErrNoEntry", err)
+	}
+	// The flanks must.
+	if err := m.Fault(th, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fault(th, 14, false); err != nil {
+		t.Fatal(err)
+	}
+	// The object survived: two entries still reference it.
+	if o.Refs() != 3 { // creator + two clipped entries
+		t.Fatalf("object refs = %d, want 3", o.Refs())
+	}
+}
+
+func TestDeallocateRangeWiredRefused(t *testing.T) {
+	pool := NewPool(16)
+	m := NewMap(pool)
+	o := NewObject(pool, 16)
+	th := sched.New("t")
+	m.Allocate(th, 0, 8, o, 0)
+	if err := m.Wire(th, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeallocateRange(th, 0, 8); err == nil {
+		t.Fatal("deallocating a wired range succeeded")
+	}
+	// The unwired flank can go.
+	if err := m.DeallocateRange(th, 4, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeallocateRangeUncoveredFails(t *testing.T) {
+	pool := NewPool(16)
+	m := NewMap(pool)
+	o := NewObject(pool, 16)
+	th := sched.New("t")
+	m.Allocate(th, 0, 4, o, 0)
+	if err := m.DeallocateRange(th, 0, 8); err != ErrNoEntry {
+		t.Fatalf("err = %v, want ErrNoEntry", err)
+	}
+	if err := m.DeallocateRange(th, 8, 4); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	// Nothing was clipped by the failed attempts.
+	if n := len(m.Entries(th)); n != 1 {
+		t.Fatalf("entries = %d, want 1 (failed deallocate must not clip)", n)
+	}
+}
+
+// Property: after any sequence of partial wires and unwires on one entry,
+// (a) entries exactly tile the original range, (b) offsets stay consistent
+// with addresses, and (c) wire counts are never negative.
+func TestClipTilingQuick(t *testing.T) {
+	type op struct {
+		Wire  bool
+		Start uint8
+		Len   uint8
+	}
+	f := func(ops []op) bool {
+		pool := NewPool(64)
+		m := NewMap(pool)
+		o := NewObject(pool, 32)
+		th := sched.New("t")
+		if err := m.Allocate(th, 0, 32, o, 0); err != nil {
+			return false
+		}
+		wired := make([]int, 32) // reference wire counts per page
+		for _, oper := range ops {
+			start := uint64(oper.Start % 32)
+			length := uint64(oper.Len%8) + 1
+			end := start + length
+			if end > 32 {
+				end = 32
+			}
+			if oper.Wire {
+				if err := m.Wire(th, start, end); err != nil {
+					return false
+				}
+				for p := start; p < end; p++ {
+					wired[p]++
+				}
+			} else {
+				legal := true
+				for p := start; p < end; p++ {
+					if wired[p] == 0 {
+						legal = false
+					}
+				}
+				err := m.Unwire(th, start, end)
+				if legal != (err == nil) {
+					return false
+				}
+				if err == nil {
+					for p := start; p < end; p++ {
+						wired[p]--
+					}
+				}
+			}
+		}
+		// Tiling + consistency checks.
+		ents := m.Entries(th)
+		addr := uint64(0)
+		for _, e := range ents {
+			if e.Start() != addr {
+				return false // gap or overlap
+			}
+			if e.offset != e.start {
+				return false // offsets must track addresses (offset base 0)
+			}
+			for p := e.Start(); p < e.End(); p++ {
+				if e.WireCount() != wired[p] {
+					return false
+				}
+			}
+			addr = e.End()
+		}
+		return addr == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

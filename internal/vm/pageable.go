@@ -1,0 +1,146 @@
+package vm
+
+import (
+	"fmt"
+
+	"machlock/internal/sched"
+)
+
+// WireRecursive is the ORIGINAL vm_map_pageable design the paper dissects
+// in Section 7.1 — "the original motivation for recursive locking and an
+// example of its drawbacks":
+//
+//	"When making memory nonpageable (i.e., wired or pinned), it acquires
+//	a write lock on the memory map to change the appropriate map entries,
+//	and downgrades to a recursive read lock to fault in the memory."
+//
+// The fault routine's read acquisitions succeed against pending writers
+// because this thread is the recursive holder. But if a fault hits a
+// memory shortage it drops only ITS OWN lock to wait for memory, while the
+// outer recursive read hold remains — and if obtaining more memory
+// requires a write lock on the same map (the pageout path), the system
+// deadlocks. "While these deadlocks are difficult to cause, they have been
+// observed in practice."
+//
+// This implementation is kept deliberately faithful so the deadlock can be
+// demonstrated (experiment E11, cmd/deadlockdemo). Use Wire for the
+// rewritten, deadlock-free protocol.
+func (m *Map) WireRecursive(t *sched.Thread, start, end uint64) error {
+	if t == nil {
+		panic("vm: WireRecursive requires a thread identity")
+	}
+	// Write lock to update the entries.
+	m.lock.Write(t)
+	entries, err := m.clipRange(start, end)
+	if err != nil {
+		m.lock.Done(t)
+		return err
+	}
+	for _, e := range entries {
+		e.wired++
+	}
+	// Downgrade to a recursive read lock and fault the pages in. To
+	// avoid an upgrade later, "vm_map_pageable must perform any work that
+	// would otherwise necessitate a write lock" before downgrading —
+	// we already did (the wired counts).
+	m.lock.SetRecursive(t)
+	m.lock.WriteToRead(t)
+
+	faultErr := m.faultRange(t, start, end)
+
+	if faultErr != nil {
+		// Unwind under the still-held recursive read lock: the wired
+		// counts were taken under the write lock; correcting them needs
+		// it again, so upgrade by draining our own recursion first.
+		// (In this simplified model the counts are only read under the
+		// write lock, so adjusting them under our read hold is safe.)
+		for _, e := range entries {
+			e.wired--
+		}
+	}
+	m.lock.ClearRecursive(t)
+	m.lock.Done(t)
+	return faultErr
+}
+
+// Wire is the REWRITTEN vm_map_pageable: "To eliminate [the deadlocks],
+// vm_map_pageable is being rewritten to avoid the use of recursive locks."
+// The write lock marks the entries in-transition and is then fully
+// released; the faults run under ordinary short read holds, so a pageout
+// daemon needing the write lock can always make progress; a final write
+// lock clears the transition state.
+func (m *Map) Wire(t *sched.Thread, start, end uint64) error {
+	m.lock.Write(t)
+	entries, err := m.clipRange(start, end)
+	if err != nil {
+		m.lock.Done(t)
+		return err
+	}
+	for _, e := range entries {
+		if e.inTransition {
+			// Another wire operation is in flight on this entry;
+			// real Mach waits for it. Keep the model simple and
+			// refuse without having modified anything.
+			m.lock.Done(t)
+			return fmt.Errorf("vm: entry at %d already in transition", e.start)
+		}
+	}
+	for _, e := range entries {
+		e.wired++
+		e.inTransition = true
+	}
+	m.lock.Done(t)
+
+	faultErr := m.faultRange(t, start, end)
+
+	m.lock.Write(t)
+	for _, e := range entries {
+		e.inTransition = false
+		if faultErr != nil {
+			e.wired-- // unwind a failed wire
+		}
+	}
+	m.lock.Done(t)
+	return faultErr
+}
+
+// Unwire reverses a successful wire of [start, end).
+func (m *Map) Unwire(t *sched.Thread, start, end uint64) error {
+	m.lock.Write(t)
+	defer m.lock.Done(t)
+	entries, err := m.clipRange(start, end)
+	if err != nil {
+		return err
+	}
+	// Validate the whole range before mutating anything: a failure
+	// halfway through must not leave earlier entries half-unwired.
+	for _, e := range entries {
+		if e.wired == 0 {
+			return fmt.Errorf("vm: entry at %d not wired", e.start)
+		}
+	}
+	for _, e := range entries {
+		e.wired--
+		if e.wired == 0 {
+			o := e.object
+			o.lock.Lock()
+			for off := e.offset; off < e.offset+(e.end-e.start); off++ {
+				if pg, ok := o.pages[off]; ok {
+					pg.wired = false
+				}
+			}
+			o.lock.Unlock()
+		}
+	}
+	return nil
+}
+
+// faultRange faults every page of [start, end), wiring each.
+func (m *Map) faultRange(t *sched.Thread, start, end uint64) error {
+	for va := start; va < end; va++ {
+		if err := m.Fault(t, va, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}

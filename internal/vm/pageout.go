@@ -1,0 +1,78 @@
+package vm
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"machlock/internal/sched"
+)
+
+// Pageout is the pageout daemon: a kernel thread that reclaims unwired
+// resident pages when the free pool runs low. Reclaiming requires the
+// write lock on each map it scans — the dependency that closes the
+// Section 7.1 deadlock cycle against WireRecursive.
+type Pageout struct {
+	pool *PagePool
+
+	mu   sync.Mutex
+	maps []*Map
+
+	reclaims atomic.Int64
+	passes   atomic.Int64
+
+	stop   chan struct{}
+	thread *sched.Thread
+}
+
+// NewPageout creates a daemon over the pool.
+func NewPageout(pool *PagePool) *Pageout {
+	return &Pageout{pool: pool, stop: make(chan struct{})}
+}
+
+// AddMap registers a map for scanning.
+func (pd *Pageout) AddMap(m *Map) {
+	pd.mu.Lock()
+	pd.maps = append(pd.maps, m)
+	pd.mu.Unlock()
+}
+
+// Start launches the daemon thread. It polls the pool and, when it is
+// exhausted, reclaims from every registered map.
+func (pd *Pageout) Start() {
+	pd.thread = sched.Go("pageout", func(t *sched.Thread) {
+		for {
+			select {
+			case <-pd.stop:
+				return
+			default:
+			}
+			if pd.pool.FreeCount() == 0 {
+				pd.passes.Add(1)
+				pd.mu.Lock()
+				maps := make([]*Map, len(pd.maps))
+				copy(maps, pd.maps)
+				pd.mu.Unlock()
+				for _, m := range maps {
+					n := m.ReclaimPages(t, 16)
+					pd.reclaims.Add(int64(n))
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
+// Stop terminates the daemon and waits for it.
+func (pd *Pageout) Stop() {
+	close(pd.stop)
+	if pd.thread != nil {
+		pd.thread.Join()
+	}
+}
+
+// Reclaims returns the number of pages the daemon has freed.
+func (pd *Pageout) Reclaims() int64 { return pd.reclaims.Load() }
+
+// Passes returns the number of shortage passes the daemon has run.
+func (pd *Pageout) Passes() int64 { return pd.passes.Load() }
