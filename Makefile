@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench locktrace
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Experiment benchmarks (E1-E12) plus the uncontended fast-path pairs
+# that pin the observability layer's disabled-tracing overhead.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+locktrace:
+	$(GO) run ./cmd/locktrace

@@ -31,9 +31,11 @@ package cxlock
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"machlock/internal/core/splock"
 	"machlock/internal/sched"
+	"machlock/internal/trace"
 )
 
 // Stats is a snapshot of a lock's accounting.
@@ -77,7 +79,46 @@ type Lock struct {
 	BusyWait bool
 
 	stats lockStats
+
+	// class is the optional observability registration; nil means
+	// untraced. stat is the optional per-instance timing sink installed
+	// by StatRW. Both are immutable once the lock is in concurrent use.
+	class *trace.Class
+	stat  *rwInstr
+	// acquiredAt stamps the current hold occupancy (first reader in, or
+	// writer in) in ns; protected by the interlock, nonzero only while
+	// instrumented.
+	acquiredAt int64
 }
+
+// SetClass registers the lock with the observability layer. Call before
+// the lock is in concurrent use.
+func (l *Lock) SetClass(c *trace.Class) { l.class = c }
+
+// instrOn reports whether acquisition timing is wanted right now: a
+// per-instance stats sink is attached or the class is traced. One atomic
+// load on the common (untraced) path.
+func (l *Lock) instrOn() bool { return l.stat != nil || l.class.On() }
+
+// recordAcquired feeds one granted hold to the per-instance sink and the
+// class profile; called outside the interlock, like the observer hooks.
+func (l *Lock) recordAcquired(contended bool, waitNs int64) {
+	if l.stat != nil {
+		l.stat.acquired(contended, waitNs)
+	}
+	l.class.Acquired(contended, waitNs)
+}
+
+// recordReleased feeds one release; holdNs < 0 means no occupancy sample
+// ended with this release (e.g. a reader left while others remain).
+func (l *Lock) recordReleased(holdNs int64) {
+	if l.stat != nil {
+		l.stat.released(holdNs)
+	}
+	l.class.Released(holdNs)
+}
+
+func nowNs() int64 { return time.Now().UnixNano() }
 
 type lockStats struct {
 	reads          atomic.Int64
@@ -125,24 +166,34 @@ func (l *Lock) SetSleepable(canSleep bool) {
 // The caller must hold the interlock and must have set l.waiting when
 // sleeping (done here).
 func (l *Lock) wait(t *sched.Thread) {
+	tr := l.class.On()
+	var start time.Time
+	if tr {
+		start = time.Now()
+	}
 	if l.canSleep && t != nil {
 		l.waiting = true
 		l.stats.sleeps.Add(1)
 		sched.AssertWait(t, sched.Event(l))
 		l.interlock.Unlock()
 		obWaiting(l, t)
+		l.class.Waiting()
 		sched.ThreadBlock(t)
 		obDoneWaiting(l, t)
 	} else {
 		l.stats.spins.Add(1)
 		l.interlock.Unlock()
 		obWaiting(l, t)
+		l.class.Waiting()
 		if l.BusyWait {
 			busyPause()
 		} else {
 			runtime.Gosched()
 		}
 		obDoneWaiting(l, t)
+	}
+	if tr {
+		l.class.DoneWaiting(time.Since(start).Nanoseconds())
 	}
 	l.interlock.Lock()
 }
@@ -176,6 +227,9 @@ func (l *Lock) wakeupLocked() {
 // Write acquires the lock for writing (lock_write). If t is the lock's
 // recursive holder, the recursion depth is incremented instead.
 func (l *Lock) Write(t *sched.Thread) {
+	instr := l.instrOn()
+	var waitStart time.Time
+	waited := false
 	l.interlock.Lock()
 	if t != nil && l.holder == t {
 		if !l.wantWrite && !l.wantUpgrade {
@@ -189,10 +243,15 @@ func (l *Lock) Write(t *sched.Thread) {
 		l.depth++
 		l.interlock.Unlock()
 		obAcquired(l, t)
+		l.recordAcquired(false, 0)
 		return
 	}
 	// Acquire the want_write bit; writers queue behind existing writers.
 	for l.wantWrite {
+		if instr && !waited {
+			waitStart = time.Now()
+			waited = true
+		}
 		l.wait(t)
 	}
 	l.wantWrite = true
@@ -200,32 +259,65 @@ func (l *Lock) Write(t *sched.Thread) {
 	// upgrades are favored over writes because the upgrader already
 	// holds standing in the lock.
 	for l.readCount != 0 || l.wantUpgrade {
+		if instr && !waited {
+			waitStart = time.Now()
+			waited = true
+		}
 		l.wait(t)
 	}
 	l.stats.writes.Add(1)
+	if instr {
+		l.acquiredAt = nowNs()
+	}
 	l.interlock.Unlock()
 	obAcquired(l, t)
+	var waitNs int64
+	if instr && waited {
+		waitNs = time.Since(waitStart).Nanoseconds()
+	}
+	l.recordAcquired(waited, waitNs)
 }
 
 // Read acquires the lock for reading (lock_read). The recursive holder's
 // read requests are not blocked by pending write or upgrade requests; all
 // other readers queue behind them (writer priority).
 func (l *Lock) Read(t *sched.Thread) {
+	instr := l.instrOn()
+	var waitStart time.Time
+	waited := false
 	l.interlock.Lock()
 	if t != nil && l.holder == t {
 		l.readCount++
 		l.stats.reads.Add(1)
+		if instr && l.acquiredAt == 0 {
+			l.acquiredAt = nowNs()
+		}
 		l.interlock.Unlock()
 		obAcquired(l, t)
+		l.recordAcquired(false, 0)
 		return
 	}
 	for l.wantWrite || l.wantUpgrade {
+		if instr && !waited {
+			waitStart = time.Now()
+			waited = true
+		}
 		l.wait(t)
 	}
 	l.readCount++
 	l.stats.reads.Add(1)
+	// Occupancy: the hold sample spans from the first reader in to the
+	// last reader out, so only the 0→1 transition stamps the clock.
+	if instr && l.readCount == 1 {
+		l.acquiredAt = nowNs()
+	}
 	l.interlock.Unlock()
 	obAcquired(l, t)
+	var waitNs int64
+	if instr && waited {
+		waitNs = time.Since(waitStart).Nanoseconds()
+	}
+	l.recordAcquired(waited, waitNs)
 }
 
 // ReadToWrite upgrades a read hold to a write hold (lock_read_to_write).
@@ -235,6 +327,7 @@ func (l *Lock) Read(t *sched.Thread) {
 // cites as the reason this feature is rarely used. On success (false) the
 // caller holds the lock for writing.
 func (l *Lock) ReadToWrite(t *sched.Thread) bool {
+	instr := l.instrOn()
 	l.interlock.Lock()
 	if t != nil && l.holder == t {
 		if !l.wantWrite && !l.wantUpgrade {
@@ -249,6 +342,7 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 		l.readCount--
 		l.depth++
 		l.interlock.Unlock()
+		l.class.Upgraded(true)
 		return false
 	}
 	l.readCount--
@@ -256,9 +350,16 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 		// Someone else is upgrading: two upgrades deadlock, so this one
 		// fails and its read hold is gone.
 		l.stats.failedUpgrades.Add(1)
+		holdNs := int64(-1)
+		if instr && l.readCount == 0 && l.acquiredAt != 0 {
+			holdNs = nowNs() - l.acquiredAt
+			l.acquiredAt = 0
+		}
 		l.wakeupLocked()
 		l.interlock.Unlock()
 		obReleased(l, t)
+		l.class.Upgraded(false)
+		l.recordReleased(holdNs)
 		return true
 	}
 	l.wantUpgrade = true
@@ -266,7 +367,14 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 		l.wait(t)
 	}
 	l.stats.upgrades.Add(1)
+	// The hold continues across the upgrade: if this thread was the only
+	// reader its occupancy stamp carries over; if other readers ended the
+	// occupancy while we drained, restart the stamp for the write hold.
+	if instr && l.acquiredAt == 0 {
+		l.acquiredAt = nowNs()
+	}
 	l.interlock.Unlock()
+	l.class.Upgraded(true)
 	return false
 }
 
@@ -285,8 +393,10 @@ func (l *Lock) WriteToRead(t *sched.Thread) {
 		l.wantWrite = false
 	}
 	l.stats.downgrades.Add(1)
+	// The hold continues in read mode; the occupancy stamp carries over.
 	l.wakeupLocked()
 	l.interlock.Unlock()
+	l.class.Downgraded()
 }
 
 // Done releases a lock held in any mode (lock_done). "A lock can be held
@@ -294,33 +404,48 @@ func (l *Lock) WriteToRead(t *sched.Thread) {
 // always determine how the lock is held and release it appropriately."
 func (l *Lock) Done(t *sched.Thread) {
 	l.interlock.Lock()
+	endHold := false
 	switch {
 	case l.readCount > 0:
 		l.readCount--
+		endHold = l.readCount == 0
 	case t != nil && l.holder == t && l.depth > 0:
 		l.depth--
 	case l.wantUpgrade:
 		l.wantUpgrade = false
+		endHold = true
 	case l.wantWrite:
 		l.wantWrite = false
+		endHold = true
 	default:
 		l.interlock.Unlock()
 		panic("cxlock: lock_done on lock not held")
 	}
+	holdNs := int64(-1)
+	if endHold && l.acquiredAt != 0 {
+		holdNs = nowNs() - l.acquiredAt
+		l.acquiredAt = 0
+	}
 	l.wakeupLocked()
 	l.interlock.Unlock()
 	obReleased(l, t)
+	l.recordReleased(holdNs)
 }
 
 // TryRead makes a single attempt to acquire the lock for reading
 // (lock_try_read); it never spins or blocks.
 func (l *Lock) TryRead(t *sched.Thread) bool {
+	instr := l.instrOn()
 	l.interlock.Lock()
 	defer l.interlock.Unlock()
 	if t != nil && l.holder == t {
 		l.readCount++
 		l.stats.reads.Add(1)
+		if instr && l.acquiredAt == 0 {
+			l.acquiredAt = nowNs()
+		}
 		defer obAcquired(l, t)
+		defer l.recordAcquired(false, 0)
 		return true
 	}
 	if l.wantWrite || l.wantUpgrade {
@@ -328,7 +453,11 @@ func (l *Lock) TryRead(t *sched.Thread) bool {
 	}
 	l.readCount++
 	l.stats.reads.Add(1)
+	if instr && l.readCount == 1 {
+		l.acquiredAt = nowNs()
+	}
 	defer obAcquired(l, t)
+	defer l.recordAcquired(false, 0)
 	return true
 }
 
@@ -336,6 +465,7 @@ func (l *Lock) TryRead(t *sched.Thread) bool {
 // (lock_try_write); it never spins or blocks. In particular it returns
 // false if the lock is currently held for writing.
 func (l *Lock) TryWrite(t *sched.Thread) bool {
+	instr := l.instrOn()
 	l.interlock.Lock()
 	defer l.interlock.Unlock()
 	if t != nil && l.holder == t {
@@ -344,6 +474,7 @@ func (l *Lock) TryWrite(t *sched.Thread) bool {
 		}
 		l.depth++
 		defer obAcquired(l, t)
+		defer l.recordAcquired(false, 0)
 		return true
 	}
 	if l.wantWrite || l.wantUpgrade || l.readCount != 0 {
@@ -351,7 +482,11 @@ func (l *Lock) TryWrite(t *sched.Thread) bool {
 	}
 	l.wantWrite = true
 	l.stats.writes.Add(1)
+	if instr {
+		l.acquiredAt = nowNs()
+	}
 	defer obAcquired(l, t)
+	defer l.recordAcquired(false, 0)
 	return true
 }
 
@@ -396,7 +531,11 @@ func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
 		}
 	}
 	l.stats.upgrades.Add(1)
+	if l.instrOn() && l.acquiredAt == 0 {
+		l.acquiredAt = nowNs()
+	}
 	l.interlock.Unlock()
+	l.class.Upgraded(true)
 	return true
 }
 

@@ -1,0 +1,110 @@
+package cxlock
+
+import (
+	"sync/atomic"
+
+	"machlock/internal/stats"
+	"machlock/internal/trace"
+)
+
+// rwInstr is the per-instance timing sink a StatRW installs into its
+// embedded Lock: the complex-lock counterpart of StatLock's accounting.
+// The Lock's own acquisition/upgrade/sleep counters already live in
+// lockStats; this adds what those lack — contention counts and hold/wait
+// time histograms.
+type rwInstr struct {
+	contended atomic.Int64
+	hold      stats.Histogram
+	wait      stats.Histogram
+}
+
+// acquired records one granted hold.
+func (s *rwInstr) acquired(contended bool, waitNs int64) {
+	if contended {
+		s.contended.Add(1)
+		s.wait.Observe(waitNs)
+	}
+}
+
+// released records one release; holdNs < 0 means no occupancy sample ended
+// (a reader left while others remain).
+func (s *rwInstr) released(holdNs int64) {
+	if holdNs >= 0 {
+		s.hold.Observe(holdNs)
+	}
+}
+
+// StatRW is the statistics variant of the complex lock, symmetric to
+// splock.StatLock: a named readers/writer lock whose per-instance
+// statistics — contention counts, hold-time and wait-time histograms on
+// top of the Lock's own acquisition counters — are always on, and whose
+// name is registered as a complex class with the process-wide
+// observability layer. Use Lock where the two clock reads per critical
+// section matter and StatRW while hunting contention.
+//
+// StatRW embeds Lock, so the full complex-lock protocol (Read/Write/Done,
+// upgrades, downgrades, Sleep and Recursive options) is available
+// directly. Hold time is lock occupancy: a read-mode sample spans from
+// the first reader in to the last reader out.
+type StatRW struct {
+	name string
+	Lock
+}
+
+// NewStatRW creates a named statistics complex lock; canSleep enables the
+// Sleep option as in New.
+func NewStatRW(name string, canSleep bool) *StatRW {
+	s := &StatRW{name: name}
+	s.Lock.Init(canSleep)
+	s.Lock.stat = &rwInstr{}
+	s.Lock.class = trace.NewClass("cxlock", name, trace.KindComplex)
+	return s
+}
+
+// Name returns the lock's name.
+func (s *StatRW) Name() string { return s.name }
+
+// RWReport is a snapshot of a StatRW's accounting, merging the Lock's
+// acquisition counters with the instance's timing histograms.
+type RWReport struct {
+	Name              string
+	ReadAcquisitions  int64
+	WriteAcquisitions int64
+	Contended         int64
+	// ContentionRate is contended acquisitions / total acquisitions.
+	ContentionRate float64
+	MeanHoldNs     float64
+	P99HoldNs      int64
+	MeanWaitNs     float64
+	MaxWaitNs      int64
+	Sleeps         int64
+	Spins          int64
+	Upgrades       int64
+	FailedUpgrades int64
+	Downgrades     int64
+}
+
+// Report returns the lock's statistics.
+func (s *StatRW) Report() RWReport {
+	ls := s.Lock.Stats()
+	in := s.Lock.stat
+	r := RWReport{
+		Name:              s.name,
+		ReadAcquisitions:  ls.ReadAcquisitions,
+		WriteAcquisitions: ls.WriteAcquisitions,
+		Contended:         in.contended.Load(),
+		MeanHoldNs:        in.hold.Mean(),
+		P99HoldNs:         in.hold.Quantile(0.99),
+		MeanWaitNs:        in.wait.Mean(),
+		MaxWaitNs:         in.wait.Max(),
+		Sleeps:            ls.Sleeps,
+		Spins:             ls.Spins,
+		Upgrades:          ls.Upgrades,
+		FailedUpgrades:    ls.FailedUpgrades,
+		Downgrades:        ls.Downgrades,
+	}
+	if total := r.ReadAcquisitions + r.WriteAcquisitions; total > 0 {
+		r.ContentionRate = float64(r.Contended) / float64(total)
+	}
+	return r
+}

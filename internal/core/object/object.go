@@ -25,6 +25,7 @@ import (
 
 	"machlock/internal/core/refcount"
 	"machlock/internal/core/splock"
+	"machlock/internal/trace"
 )
 
 // ErrDeactivated is returned by operations that find their object
@@ -42,8 +43,19 @@ type Object struct {
 	refs   refcount.Count
 	active bool
 	name   string
+	class  *trace.Class
 
 	destroyed atomic.Bool
+}
+
+// SetClass registers the object with the observability layer under one
+// class (typically per kernel type: "kern.task", "ipc.port"): its lock
+// traffic, reference traffic, and deactivations all aggregate there. Call
+// right after Init, before the object is shared.
+func (o *Object) SetClass(c *trace.Class) {
+	o.class = c
+	o.lock.SetClass(c)
+	o.refs.SetClass(c)
 }
 
 // Init initializes the object as active with a single (creator's)
@@ -101,6 +113,7 @@ func (o *Object) Deactivate() bool {
 		return false
 	}
 	o.active = false
+	o.class.Deactivated()
 	return true
 }
 

@@ -27,6 +27,8 @@ package refcount
 import (
 	"fmt"
 	"sync/atomic"
+
+	"machlock/internal/trace"
 )
 
 // Count is a reference count protected by its object's lock: every method
@@ -35,7 +37,16 @@ import (
 // Init.
 type Count struct {
 	n int32
+
+	// class is the optional observability registration (KindRef); nil
+	// means untraced. Immutable after SetClass.
+	class *trace.Class
 }
+
+// SetClass registers the count with the observability layer; clones and
+// releases then appear in the flight recorder and per-class profile. Call
+// before concurrent use.
+func (c *Count) SetClass(cl *trace.Class) { c.class = cl }
 
 // Init sets the count to n references (normally 1: the creator's).
 func (c *Count) Init(n int32) {
@@ -57,6 +68,7 @@ func (c *Count) Clone() {
 		panic(fmt.Sprintf("refcount: cloning a dead reference (count %d)", c.n))
 	}
 	c.n++
+	c.class.RefClone(int64(c.n))
 }
 
 // Release drops one reference, returning true when the count reaches zero
@@ -66,6 +78,7 @@ func (c *Count) Release() bool {
 		panic(fmt.Sprintf("refcount: releasing unheld reference (count %d)", c.n))
 	}
 	c.n--
+	c.class.RefRelease(int64(c.n))
 	return c.n == 0
 }
 
@@ -73,20 +86,27 @@ func (c *Count) Release() bool {
 // alternative Mach could not assume in 1991. Used by experiment E6 to
 // quantify what the lock-protected discipline costs.
 type Atomic struct {
-	n atomic.Int32
+	n     atomic.Int32
+	class *trace.Class
 }
 
 // Init sets the count.
 func (a *Atomic) Init(n int32) { a.n.Store(n) }
+
+// SetClass registers the count with the observability layer (see
+// Count.SetClass).
+func (a *Atomic) SetClass(cl *trace.Class) { a.class = cl }
 
 // Refs returns the current count.
 func (a *Atomic) Refs() int32 { return a.n.Load() }
 
 // Clone increments the count, panicking if it observes a dead count.
 func (a *Atomic) Clone() {
-	if a.n.Add(1) <= 1 {
+	n := a.n.Add(1)
+	if n <= 1 {
 		panic("refcount: cloning a dead reference (atomic)")
 	}
+	a.class.RefClone(int64(n))
 }
 
 // Release decrements, returning true at zero.
@@ -95,5 +115,6 @@ func (a *Atomic) Release() bool {
 	if n < 0 {
 		panic("refcount: releasing unheld reference (atomic)")
 	}
+	a.class.RefRelease(int64(n))
 	return n == 0
 }

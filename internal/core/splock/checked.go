@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"machlock/internal/trace"
 )
 
 // Holder is what a checked lock knows about its acquirer. *sched.Thread
@@ -22,19 +25,22 @@ type Holder interface {
 // corresponds to the debug/statistics variant the paper says the simple
 // lock structure was designed to admit.
 type Checked struct {
-	name string
-	l    Lock
+	name  string
+	class *trace.Class
+	l     Lock
 
-	mu     sync.Mutex
-	holder Holder
+	mu         sync.Mutex
+	holder     Holder
+	acquiredAt int64 // ns; guarded by mu, set only while tracing
 
 	acquisitions atomic.Int64
 	contended    atomic.Int64
 }
 
-// NewChecked creates a named checked lock.
+// NewChecked creates a named checked lock, registered as a spin class with
+// the observability layer.
 func NewChecked(name string) *Checked {
-	return &Checked{name: name}
+	return &Checked{name: name, class: trace.NewClass("splock", name, trace.KindSpin)}
 }
 
 // Name returns the lock's name.
@@ -52,15 +58,32 @@ func (c *Checked) Lock(h Holder) {
 			c.name, h.Name()))
 	}
 	c.mu.Unlock()
+	tr := c.class.On()
+	var waitNs int64
+	contended := false
 	if !c.l.TryLock() {
 		c.contended.Add(1)
+		contended = true
+		var start time.Time
+		if tr {
+			start = time.Now()
+			c.class.Waiting()
+		}
 		c.l.Lock()
+		if tr {
+			waitNs = time.Since(start).Nanoseconds()
+			c.class.DoneWaiting(waitNs)
+		}
 	}
 	c.mu.Lock()
 	c.holder = h
+	if tr {
+		c.acquiredAt = time.Now().UnixNano()
+	}
 	c.mu.Unlock()
 	h.NoteSpinAcquire()
 	c.acquisitions.Add(1)
+	c.class.Acquired(contended, waitNs)
 }
 
 // TryLock makes a single attempt for h.
@@ -73,9 +96,13 @@ func (c *Checked) TryLock(h Holder) bool {
 	}
 	c.mu.Lock()
 	c.holder = h
+	if c.class.On() {
+		c.acquiredAt = time.Now().UnixNano()
+	}
 	c.mu.Unlock()
 	h.NoteSpinAcquire()
 	c.acquisitions.Add(1)
+	c.class.Acquired(false, 0)
 	return true
 }
 
@@ -92,9 +119,15 @@ func (c *Checked) Unlock(h Holder) {
 			c.name, h.Name(), cur))
 	}
 	c.holder = nil
+	holdNs := int64(-1)
+	if at := c.acquiredAt; at != 0 {
+		c.acquiredAt = 0
+		holdNs = time.Now().UnixNano() - at
+	}
 	c.mu.Unlock()
 	c.l.Unlock()
 	h.NoteSpinRelease()
+	c.class.Released(holdNs)
 }
 
 // HolderName returns the name of the current holder, or "" if unheld.

@@ -29,8 +29,10 @@ package splock
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"machlock/internal/hw"
+	"machlock/internal/trace"
 )
 
 // Mutex is the machine-independent simple lock interface (Appendix A):
@@ -47,16 +49,38 @@ type Mutex interface {
 // atomics. The zero value is unlocked. Spinners yield the processor
 // between test iterations so the simulation remains live on few host cores;
 // this stands in for the hardware backoff a real kernel spin performs.
+//
+// A lock may optionally be registered with the observability layer via
+// SetClass; an unclassed lock (the zero value) pays only a nil check per
+// operation, and a classed lock with tracing disabled pays one atomic
+// load — the "structure to allow the simple addition of debugging and
+// statistics information" of Appendix A.1, at its designed cost.
 type Lock struct {
 	state int32
+
+	// class is the observability registration; nil means untraced.
+	// Immutable after SetClass, which must precede concurrent use.
+	class *trace.Class
+	// acquiredAt is the ns timestamp of the current traced acquisition;
+	// protected by the lock itself (written after acquire, consumed at
+	// release).
+	acquiredAt int64
 }
 
 var _ Mutex = (*Lock)(nil)
+
+// SetClass registers the lock with the observability layer. Call before
+// the lock is in concurrent use (typically right after construction).
+func (l *Lock) SetClass(c *trace.Class) { l.class = c }
 
 // Lock acquires the lock, spinning until it is available (simple_lock).
 // The first attempt is an unconditional test-and-set; only if that fails
 // does the acquirer fall back to test-and-test-and-set spinning.
 func (l *Lock) Lock() {
+	if l.class.On() {
+		l.lockTraced()
+		return
+	}
 	if atomic.CompareAndSwapInt32(&l.state, 0, 1) {
 		return
 	}
@@ -69,9 +93,46 @@ func (l *Lock) Lock() {
 	}
 }
 
+// lockTraced is the acquisition path with tracing on: it times contended
+// waits and stamps the acquisition for the hold-time sample at unlock.
+func (l *Lock) lockTraced() {
+	if atomic.CompareAndSwapInt32(&l.state, 0, 1) {
+		l.acquiredAt = time.Now().UnixNano()
+		l.class.Acquired(false, 0)
+		return
+	}
+	start := time.Now()
+	l.class.Waiting()
+	for {
+		if atomic.LoadInt32(&l.state) == 0 &&
+			atomic.CompareAndSwapInt32(&l.state, 0, 1) {
+			waitNs := time.Since(start).Nanoseconds()
+			l.acquiredAt = time.Now().UnixNano()
+			l.class.DoneWaiting(waitNs)
+			l.class.Acquired(true, waitNs)
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
 // Unlock releases the lock (simple_unlock). Unlocking an unlocked lock
 // panics: it always indicates a protocol error.
 func (l *Lock) Unlock() {
+	if l.class != nil {
+		// Consume the acquisition stamp unconditionally so a toggle of
+		// tracing mid-hold cannot leave a stale timestamp behind.
+		holdNs := int64(-1)
+		if at := l.acquiredAt; at != 0 {
+			l.acquiredAt = 0
+			holdNs = time.Now().UnixNano() - at
+		}
+		if atomic.SwapInt32(&l.state, 0) != 1 {
+			panic("splock: unlock of unlocked simple lock")
+		}
+		l.class.Released(holdNs)
+		return
+	}
 	if atomic.SwapInt32(&l.state, 0) != 1 {
 		panic("splock: unlock of unlocked simple lock")
 	}
@@ -82,7 +143,14 @@ func (l *Lock) Unlock() {
 // to acquire a lock in situations where the unconditional acquisition of
 // the lock could cause deadlock" — the backout protocols of Section 5.
 func (l *Lock) TryLock() bool {
-	return atomic.CompareAndSwapInt32(&l.state, 0, 1)
+	if !atomic.CompareAndSwapInt32(&l.state, 0, 1) {
+		return false
+	}
+	if l.class.On() {
+		l.acquiredAt = time.Now().UnixNano()
+		l.class.Acquired(false, 0)
+	}
+	return true
 }
 
 // Locked reports whether the lock is currently held. Useful only for

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"machlock/internal/stats"
+	"machlock/internal/trace"
 )
 
 // StatLock is the statistics variant of the simple lock: "A simple lock is
@@ -17,8 +18,9 @@ import (
 // The accounting costs two clock reads per critical section; use the plain
 // Lock where that matters and this one while hunting contention.
 type StatLock struct {
-	name string
-	l    Lock
+	name  string
+	class *trace.Class
+	l     Lock
 
 	acquiredAt atomic.Int64 // ns timestamp of current acquisition
 
@@ -28,9 +30,12 @@ type StatLock struct {
 	wait         stats.Histogram
 }
 
-// NewStat creates a named statistics lock.
+// NewStat creates a named statistics lock, registering its name as a spin
+// class with the process-wide observability layer. Per-instance statistics
+// are always on; the class profile and flight-recorder events follow the
+// global trace switch.
 func NewStat(name string) *StatLock {
-	return &StatLock{name: name}
+	return &StatLock{name: name, class: trace.NewClass("splock", name, trace.KindSpin)}
 }
 
 // Name returns the lock's name.
@@ -41,14 +46,19 @@ func (s *StatLock) Lock() {
 	if s.l.TryLock() {
 		s.acquisitions.Add(1)
 		s.acquiredAt.Store(time.Now().UnixNano())
+		s.class.Acquired(false, 0)
 		return
 	}
 	s.contended.Add(1)
+	s.class.Waiting()
 	start := time.Now()
 	s.l.Lock()
-	s.wait.Observe(time.Since(start).Nanoseconds())
+	waitNs := time.Since(start).Nanoseconds()
+	s.wait.Observe(waitNs)
 	s.acquisitions.Add(1)
 	s.acquiredAt.Store(time.Now().UnixNano())
+	s.class.DoneWaiting(waitNs)
+	s.class.Acquired(true, waitNs)
 }
 
 // TryLock makes a single attempt.
@@ -58,15 +68,21 @@ func (s *StatLock) TryLock() bool {
 	}
 	s.acquisitions.Add(1)
 	s.acquiredAt.Store(time.Now().UnixNano())
+	s.class.Acquired(false, 0)
 	return true
 }
 
-// Unlock releases the lock, recording the hold time.
+// Unlock releases the lock, recording the hold time. The acquisition
+// timestamp is consumed (swapped to zero) so an unmatched or duplicate
+// unlock cannot observe a stale timestamp and record a bogus hold sample.
 func (s *StatLock) Unlock() {
-	if at := s.acquiredAt.Load(); at != 0 {
-		s.hold.Observe(time.Now().UnixNano() - at)
+	holdNs := int64(-1)
+	if at := s.acquiredAt.Swap(0); at != 0 {
+		holdNs = time.Now().UnixNano() - at
+		s.hold.Observe(holdNs)
 	}
 	s.l.Unlock()
+	s.class.Released(holdNs)
 }
 
 var _ Mutex = (*StatLock)(nil)

@@ -20,7 +20,12 @@ import (
 
 	"machlock/internal/core/object"
 	"machlock/internal/sched"
+	"machlock/internal/trace"
 )
+
+// classPort aggregates every port's lock, reference, and deactivation
+// traffic under one observability class.
+var classPort = trace.NewClass("ipc", "ipc.port", trace.KindObject)
 
 // Kind identifies the kernel object class behind a port, used by the RPC
 // dispatcher to pick a handler table.
@@ -96,6 +101,7 @@ type Port struct {
 func NewPort(name string) *Port {
 	p := &Port{limit: DefaultQueueLimit}
 	p.Init(name)
+	p.SetClass(classPort)
 	return p
 }
 

@@ -4,7 +4,11 @@ import (
 	"errors"
 
 	"machlock/internal/core/splock"
+	"machlock/internal/trace"
 )
+
+// classSpace aggregates the name-space translation locks of every task.
+var classSpace = trace.NewClass("ipc", "ipc.space", trace.KindSpin)
 
 // Name is a task-local port name (a small integer in user space).
 type Name uint32
@@ -29,7 +33,9 @@ type Space struct {
 
 // NewSpace creates an empty name space.
 func NewSpace() *Space {
-	return &Space{table: make(map[Name]*Port), next: 1}
+	s := &Space{table: make(map[Name]*Port), next: 1}
+	s.lock.SetClass(classSpace)
+	return s
 }
 
 // Insert registers a port under a fresh name, cloning a reference into the

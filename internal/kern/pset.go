@@ -7,6 +7,14 @@ import (
 	"machlock/internal/core/object"
 	"machlock/internal/core/splock"
 	"machlock/internal/hw"
+	"machlock/internal/trace"
+)
+
+// Observability classes for the processor-allocation subsystem.
+var (
+	classProcessor = trace.NewClass("kern", "kern.processor", trace.KindObject)
+	classPset      = trace.NewClass("kern", "kern.pset", trace.KindObject)
+	classAssign    = trace.NewClass("kern", "kern.host.assign", trace.KindSpin)
 )
 
 // Processor sets are the paper's cited example of a subsystem designed on
@@ -65,10 +73,12 @@ type Host struct {
 // containing a Processor per simulated CPU.
 func NewHost(m *hw.Machine) *Host {
 	h := &Host{machine: m}
+	h.assignLock.SetClass(classAssign)
 	h.defaultSet = h.newSet("default", true)
 	for i := 0; i < m.NCPU(); i++ {
 		p := &Processor{cpu: m.CPU(i)}
 		p.Init(fmt.Sprintf("cpu%d", i))
+		p.SetClass(classProcessor)
 		h.procs = append(h.procs, p)
 		h.attach(p, h.defaultSet)
 	}
@@ -78,6 +88,7 @@ func NewHost(m *hw.Machine) *Host {
 func (h *Host) newSet(name string, isDefault bool) *ProcessorSet {
 	s := &ProcessorSet{host: h, isDefault: isDefault}
 	s.Init(name)
+	s.SetClass(classPset)
 	return s
 }
 

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"hash/maphash"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -154,6 +155,12 @@ func (tb *Table) wakeup(e Event, one bool) int {
 	}
 	b.mu.Unlock()
 	tb.wakeups.Add(int64(woken))
+	// A wakeup that made threads runnable is a preemption point, as in Mach:
+	// without this, a waker busy-looping on few host cores can hold the
+	// processor for a full preemption quantum per pass while every thread it
+	// awakened sits runnable but unscheduled — on GOMAXPROCS=1 that starves
+	// waiters into wait-timeout territory even though no wakeup was lost.
+	runtime.Gosched()
 	return woken
 }
 

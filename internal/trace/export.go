@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"machlock/internal/stats"
+)
+
+// WriteText renders the given profiles as the ranked "hottest locks"
+// table: one row per class, columns the report a developer hunting coarse
+// locks reads first.
+func WriteText(w io.Writer, profiles []Profile) error {
+	tbl := stats.NewTable("lock/refcount contention profile",
+		"class", "kind", "acq", "contended", "cont%",
+		"hold-mean", "hold-p99", "wait-mean", "wait-p99", "wait-max",
+		"refs+", "refs-", "deact")
+	for _, p := range profiles {
+		tbl.AddRow(
+			p.Pkg+"/"+p.Name, p.Kind.String(),
+			p.Acquisitions, p.Contended,
+			fmt.Sprintf("%.2f", p.ContentionRate*100),
+			ns(p.MeanHoldNs), ns(float64(p.P99HoldNs)),
+			ns(p.MeanWaitNs), ns(float64(p.P99WaitNs)), ns(float64(p.MaxWaitNs)),
+			p.RefClones, p.RefReleases, p.Deactivates)
+	}
+	_, err := tbl.WriteTo(w)
+	return err
+}
+
+// ns renders a nanosecond quantity compactly as a duration.
+func ns(v float64) string {
+	return time.Duration(int64(v)).String()
+}
+
+// WriteCSV renders the profiles as CSV with a header row, for plotting.
+func WriteCSV(w io.Writer, profiles []Profile) error {
+	if _, err := fmt.Fprintln(w, "pkg,name,kind,acquisitions,contended,contention_rate,"+
+		"mean_hold_ns,p99_hold_ns,max_hold_ns,mean_wait_ns,p99_wait_ns,max_wait_ns,"+
+		"upgrades,failed_upgrades,downgrades,ref_clones,ref_releases,deactivates"); err != nil {
+		return err
+	}
+	for _, p := range profiles {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%.6f,%.1f,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			p.Pkg, p.Name, p.Kind, p.Acquisitions, p.Contended, p.ContentionRate,
+			p.MeanHoldNs, p.P99HoldNs, p.MaxHoldNs, p.MeanWaitNs, p.P99WaitNs, p.MaxWaitNs,
+			p.Upgrades, p.FailedUpgrades, p.Downgrades,
+			p.RefClones, p.RefReleases, p.Deactivates); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteVars renders the profiles as an expvar-style JSON object keyed by
+// "pkg/name", suitable for scraping into a metrics pipeline.
+func WriteVars(w io.Writer, profiles []Profile) error {
+	m := make(map[string]Profile, len(profiles))
+	for _, p := range profiles {
+		m[p.Pkg+"/"+p.Name] = p
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteEvents dumps the events one per line, oldest first.
+func WriteEvents(w io.Writer, events []Event) error {
+	for _, e := range events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,387 @@
+// Package trace is the process-wide lock and reference-count observability
+// layer: the unified form of the debugging-and-statistics hooks the paper
+// says the simple lock structure was designed to admit ("a simple lock is
+// stored ... in a structure to allow the simple addition of debugging and
+// statistics information", Appendix A.1), extended to every coordination
+// mechanism in the kernel.
+//
+// It has three parts:
+//
+//   - A lock REGISTRY: every named coordination site (simple lock, complex
+//     lock, reference count, kernel object) registers a Class — name,
+//     package, kind — at creation, typically once per type in a package
+//     var. All instances sharing a class aggregate into one profile row,
+//     which is what a developer hunting the kernel's coarse locks wants.
+//
+//   - A FLIGHT RECORDER: a sharded, lock-free ring buffer of recent trace
+//     events (acquire/release/wait/upgrade/downgrade/ref-clone/ref-release/
+//     deactivate). Shards are selected by a per-goroutine stack hint so
+//     concurrent tracers rarely share a cache line; slots are published
+//     with atomic stores and validated by sequence number on read, so
+//     recording never takes a lock.
+//
+//   - A CONTENTION PROFILE per class: acquisition and contention counters
+//     plus hold-time and wait-time histograms (internal/stats.Histogram),
+//     exportable as text, CSV, or expvar-style JSON.
+//
+// The entire layer is gated by one atomic flag: with tracing off (the
+// default) every hook is a single atomic load and a predicted branch,
+// mirroring the cxlock.SetObserver pattern. Instrumented call sites must
+// therefore consult Class.On before doing any timing work of their own.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"machlock/internal/stats"
+)
+
+// Kind classifies the coordination mechanism behind a Class.
+type Kind uint8
+
+// The mechanism kinds.
+const (
+	KindSpin    Kind = iota // splock simple locks (incl. Stat and Checked)
+	KindComplex             // cxlock readers/writer locks
+	KindRef                 // bare reference counts
+	KindObject              // object.Object (lock + refcount + deactivate)
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSpin:
+		return "spin"
+	case KindComplex:
+		return "complex"
+	case KindRef:
+		return "ref"
+	case KindObject:
+		return "object"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// enabled is the master switch. Off means every hook in the kernel is one
+// atomic load; nothing times, counts, or records.
+var enabled atomic.Bool
+
+// Enable turns tracing and profile accounting on.
+func Enable() { enabled.Store(true) }
+
+// Disable turns tracing off. In-flight operations that observed the enabled
+// state may still deliver a final sample.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether tracing is on.
+func Enabled() bool { return enabled.Load() }
+
+// Class is one registered coordination site: the aggregation unit of the
+// observability layer. Create with NewClass (usually in a package var);
+// instances are shared freely between lock instances of the same type.
+//
+// All recording methods are nil-receiver safe and no-ops while tracing is
+// disabled, so instrumented code can hold an optional *Class and call
+// unconditionally after checking On for its own timing work.
+type Class struct {
+	id   uint32
+	name string
+	pkg  string
+	kind Kind
+
+	acquisitions   stats.Counter
+	contended      stats.Counter
+	releases       stats.Counter
+	upgrades       stats.Counter
+	failedUpgrades stats.Counter
+	downgrades     stats.Counter
+	refClones      stats.Counter
+	refReleases    stats.Counter
+	deactivates    stats.Counter
+	hold           stats.Histogram
+	wait           stats.Histogram
+}
+
+// registry is the global class table. Registration is rare (package init,
+// constructor calls); lookups by ID on the event-dump path snapshot the
+// slice under the mutex.
+var registry struct {
+	mu    sync.Mutex
+	byKey map[string]*Class
+	all   []*Class
+}
+
+// NewClass registers (or, for a duplicate package/name pair, returns the
+// existing) class. Registering the same site from several instances is the
+// intended usage: all of them aggregate into one profile row.
+func NewClass(pkg, name string, kind Kind) *Class {
+	key := pkg + "/" + name
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.byKey == nil {
+		registry.byKey = make(map[string]*Class)
+	}
+	if c, ok := registry.byKey[key]; ok {
+		return c
+	}
+	c := &Class{id: uint32(len(registry.all)), name: name, pkg: pkg, kind: kind}
+	registry.byKey[key] = c
+	registry.all = append(registry.all, c)
+	return c
+}
+
+// Lookup returns the class registered under pkg/name, or nil.
+func Lookup(pkg, name string) *Class {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	return registry.byKey[pkg+"/"+name]
+}
+
+// Classes returns a snapshot of all registered classes in registration
+// order.
+func Classes() []*Class {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]*Class, len(registry.all))
+	copy(out, registry.all)
+	return out
+}
+
+// classByID resolves an event's class id; nil if the id is stale/unknown.
+func classByID(id uint32) *Class {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if int(id) < len(registry.all) {
+		return registry.all[id]
+	}
+	return nil
+}
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.name }
+
+// Pkg returns the registering package.
+func (c *Class) Pkg() string { return c.pkg }
+
+// Kind returns the mechanism kind.
+func (c *Class) Kind() Kind { return c.kind }
+
+// On reports whether this class should be recorded right now: tracing is
+// enabled and the receiver is non-nil. Call sites use it to skip their own
+// clock reads on the disabled fast path.
+func (c *Class) On() bool { return c != nil && enabled.Load() }
+
+// Acquired records one successful acquisition. contended marks an
+// acquisition that did not succeed on the first attempt; waitNs (>= 0) is
+// how long it waited.
+func (c *Class) Acquired(contended bool, waitNs int64) {
+	if !c.On() {
+		return
+	}
+	c.acquisitions.Inc()
+	if contended {
+		c.contended.Inc()
+		c.wait.Observe(waitNs)
+	}
+	emit(c.id, OpAcquire, waitNs)
+}
+
+// Released records one release with the hold time of the critical section
+// (holdNs < 0 means unknown; no hold sample is recorded).
+func (c *Class) Released(holdNs int64) {
+	if !c.On() {
+		return
+	}
+	c.releases.Inc()
+	if holdNs >= 0 {
+		c.hold.Observe(holdNs)
+	}
+	emit(c.id, OpRelease, holdNs)
+}
+
+// Waiting records the start of a wait (sleep or spin) for the lock.
+func (c *Class) Waiting() {
+	if !c.On() {
+		return
+	}
+	emit(c.id, OpWait, 0)
+}
+
+// DoneWaiting records the end of a wait; waitNs is the time spent waiting.
+func (c *Class) DoneWaiting(waitNs int64) {
+	if !c.On() {
+		return
+	}
+	emit(c.id, OpDoneWait, waitNs)
+}
+
+// Upgraded records a read-to-write upgrade attempt; ok reports whether it
+// succeeded (a failed upgrade released the caller's read hold).
+func (c *Class) Upgraded(ok bool) {
+	if !c.On() {
+		return
+	}
+	if ok {
+		c.upgrades.Inc()
+		emit(c.id, OpUpgrade, 1)
+	} else {
+		c.failedUpgrades.Inc()
+		emit(c.id, OpUpgrade, 0)
+	}
+}
+
+// Downgraded records a write-to-read downgrade.
+func (c *Class) Downgraded() {
+	if !c.On() {
+		return
+	}
+	c.downgrades.Inc()
+	emit(c.id, OpDowngrade, 0)
+}
+
+// RefClone records a reference clone; refs is the count after the clone.
+func (c *Class) RefClone(refs int64) {
+	if !c.On() {
+		return
+	}
+	c.refClones.Inc()
+	emit(c.id, OpRefClone, refs)
+}
+
+// RefRelease records a reference release; refs is the count after the
+// release (0 means the object is being destroyed).
+func (c *Class) RefRelease(refs int64) {
+	if !c.On() {
+		return
+	}
+	c.refReleases.Inc()
+	emit(c.id, OpRefRelease, refs)
+}
+
+// Deactivated records an object deactivation (Section 9 active
+// termination).
+func (c *Class) Deactivated() {
+	if !c.On() {
+		return
+	}
+	c.deactivates.Inc()
+	emit(c.id, OpDeactivate, 0)
+}
+
+// Profile is a point-in-time summary of one class's accounting.
+type Profile struct {
+	Name string
+	Pkg  string
+	Kind Kind
+
+	Acquisitions int64
+	Contended    int64
+	// ContentionRate is Contended / Acquisitions.
+	ContentionRate float64
+	Releases       int64
+
+	MeanHoldNs float64
+	P99HoldNs  int64
+	MaxHoldNs  int64
+	MeanWaitNs float64
+	P99WaitNs  int64
+	MaxWaitNs  int64
+
+	Upgrades       int64
+	FailedUpgrades int64
+	Downgrades     int64
+
+	RefClones   int64
+	RefReleases int64
+	Deactivates int64
+}
+
+// Snapshot returns the class's current profile.
+func (c *Class) Snapshot() Profile {
+	p := Profile{
+		Name:           c.name,
+		Pkg:            c.pkg,
+		Kind:           c.kind,
+		Acquisitions:   c.acquisitions.Load(),
+		Contended:      c.contended.Load(),
+		Releases:       c.releases.Load(),
+		MeanHoldNs:     c.hold.Mean(),
+		P99HoldNs:      c.hold.Quantile(0.99),
+		MaxHoldNs:      c.hold.Max(),
+		MeanWaitNs:     c.wait.Mean(),
+		P99WaitNs:      c.wait.Quantile(0.99),
+		MaxWaitNs:      c.wait.Max(),
+		Upgrades:       c.upgrades.Load(),
+		FailedUpgrades: c.failedUpgrades.Load(),
+		Downgrades:     c.downgrades.Load(),
+		RefClones:      c.refClones.Load(),
+		RefReleases:    c.refReleases.Load(),
+		Deactivates:    c.deactivates.Load(),
+	}
+	if p.Acquisitions > 0 {
+		p.ContentionRate = float64(p.Contended) / float64(p.Acquisitions)
+	}
+	return p
+}
+
+// reset zeroes the class's accounting.
+func (c *Class) reset() {
+	c.acquisitions.Reset()
+	c.contended.Reset()
+	c.releases.Reset()
+	c.upgrades.Reset()
+	c.failedUpgrades.Reset()
+	c.downgrades.Reset()
+	c.refClones.Reset()
+	c.refReleases.Reset()
+	c.deactivates.Reset()
+	c.hold.Reset()
+	c.wait.Reset()
+}
+
+// Profiles returns a snapshot of every registered class, in registration
+// order. Classes with zero activity are included; filter with Ranked for
+// reports.
+func Profiles() []Profile {
+	cs := Classes()
+	out := make([]Profile, len(cs))
+	for i, c := range cs {
+		out[i] = c.Snapshot()
+	}
+	return out
+}
+
+// Ranked returns the profiles with activity (acquisitions or ref traffic),
+// hottest first: descending by contended acquisitions, breaking ties by
+// total acquisitions, then by ref traffic. This is the ordering the
+// "hottest locks" report prints.
+func Ranked() []Profile {
+	var out []Profile
+	for _, p := range Profiles() {
+		if p.Acquisitions > 0 || p.RefClones > 0 || p.RefReleases > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Contended != out[j].Contended {
+			return out[i].Contended > out[j].Contended
+		}
+		if out[i].Acquisitions != out[j].Acquisitions {
+			return out[i].Acquisitions > out[j].Acquisitions
+		}
+		return out[i].RefClones+out[i].RefReleases > out[j].RefClones+out[j].RefReleases
+	})
+	return out
+}
+
+// ResetProfiles zeroes the accounting of every registered class (the
+// classes stay registered).
+func ResetProfiles() {
+	for _, c := range Classes() {
+		c.reset()
+	}
+}

@@ -9,6 +9,14 @@ import (
 	"machlock/internal/core/refcount"
 	"machlock/internal/core/splock"
 	"machlock/internal/sched"
+	"machlock/internal/trace"
+)
+
+// Observability classes: every map shares one class per lock site, so the
+// contention profile aggregates across all maps in the system.
+var (
+	classMap    = trace.NewClass("vm", "vm.map", trace.KindComplex)
+	classMapRef = trace.NewClass("vm", "vm.map.ref", trace.KindRef)
 )
 
 // Entry is one allocated region of a map: [start, end) in page numbers,
@@ -60,7 +68,10 @@ type Map struct {
 func NewMap(pool *PagePool) *Map {
 	m := &Map{pool: pool}
 	m.lock.Init(true) // sleepable
+	m.lock.SetClass(classMap)
 	m.refs.Init(1)
+	m.refs.SetClass(classMapRef)
+	m.refLock.SetClass(classMapRef)
 	return m
 }
 

@@ -7,7 +7,12 @@ import (
 	"machlock/internal/core/splock"
 	"machlock/internal/ipc"
 	"machlock/internal/sched"
+	"machlock/internal/trace"
 )
+
+// classObject aggregates lock and reference traffic for every memory
+// object under one profile entry.
+var classObject = trace.NewClass("vm", "vm.object", trace.KindSpin)
 
 // Object is a memory object: "a region of data provided by a server that
 // can be mapped into a task", represented by a data structure and its
@@ -44,7 +49,9 @@ type Object struct {
 // the pool, holding one creator reference.
 func NewObject(pool *PagePool, size uint64) *Object {
 	o := &Object{pages: make(map[uint64]*Page), size: size, pool: pool}
+	o.lock.SetClass(classObject)
 	o.refs.Init(1)
+	o.refs.SetClass(classObject)
 	return o
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"machlock/internal/core/splock"
 	"machlock/internal/sched"
+	"machlock/internal/trace"
 )
 
 // ErrZoneExhausted is returned by TryAlloc when the zone is empty.
@@ -53,7 +54,11 @@ func NewZone[T any](name string, capacity int, construct func() *T) *Zone[T] {
 	if construct == nil {
 		construct = func() *T { return new(T) }
 	}
-	return &Zone[T]{name: name, capacity: capacity, construct: construct}
+	z := &Zone[T]{name: name, capacity: capacity, construct: construct}
+	// One class per zone name: zones of the same name (across restarts or
+	// generic instantiations) share a profile entry, as kernel zones do.
+	z.lock.SetClass(trace.NewClass("zalloc", "zone."+name, trace.KindSpin))
+	return z
 }
 
 // Name returns the zone's name.

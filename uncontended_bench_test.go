@@ -1,0 +1,157 @@
+// Uncontended fast-path benchmarks for the observability layer: each
+// measures a single-thread acquire/release cycle with tracing DISABLED,
+// the configuration production code runs in. The acceptance bar for the
+// trace layer is that a classed (registered) lock stays within a few
+// percent of its unclassed baseline here — the disabled check is one nil
+// test plus one atomic load.
+//
+// Compare pairs with:
+//
+//	go test -bench 'Uncontended' -count 10 . | benchstat
+package machlock_test
+
+import (
+	"testing"
+
+	"machlock/internal/core/cxlock"
+	"machlock/internal/core/object"
+	"machlock/internal/core/splock"
+	"machlock/internal/trace"
+	"machlock/internal/zalloc"
+)
+
+// BenchmarkUncontendedSpin is the baseline: an unclassed spin lock, no
+// observability wiring at all.
+func BenchmarkUncontendedSpin(b *testing.B) {
+	var l splock.Lock
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+// BenchmarkUncontendedSpinClassed is the same lock registered with the
+// observability layer, tracing off: the cost of the disabled gate.
+func BenchmarkUncontendedSpinClassed(b *testing.B) {
+	trace.Disable()
+	var l splock.Lock
+	l.SetClass(trace.NewClass("bench", "bench.spin", trace.KindSpin))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+// BenchmarkUncontendedStatLock measures the always-on statistics variant
+// (two clock reads per cycle on top of the spin lock).
+func BenchmarkUncontendedStatLock(b *testing.B) {
+	trace.Disable()
+	l := splock.NewStat("bench.stat")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+// BenchmarkUncontendedComplexRead / Write: the unclassed complex lock.
+func BenchmarkUncontendedComplexRead(b *testing.B) {
+	l := cxlock.New(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Read(nil)
+		l.Done(nil)
+	}
+}
+
+func BenchmarkUncontendedComplexWrite(b *testing.B) {
+	l := cxlock.New(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Write(nil)
+		l.Done(nil)
+	}
+}
+
+// BenchmarkUncontendedComplexReadClassed / WriteClassed: the complex lock
+// registered with the observability layer, tracing off.
+func BenchmarkUncontendedComplexReadClassed(b *testing.B) {
+	trace.Disable()
+	l := cxlock.New(false)
+	l.SetClass(trace.NewClass("bench", "bench.cx", trace.KindComplex))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Read(nil)
+		l.Done(nil)
+	}
+}
+
+func BenchmarkUncontendedComplexWriteClassed(b *testing.B) {
+	trace.Disable()
+	l := cxlock.New(false)
+	l.SetClass(trace.NewClass("bench", "bench.cx", trace.KindComplex))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Write(nil)
+		l.Done(nil)
+	}
+}
+
+// BenchmarkUncontendedStatRW measures the always-on complex statistics
+// variant added with the observability layer.
+func BenchmarkUncontendedStatRW(b *testing.B) {
+	trace.Disable()
+	l := cxlock.NewStatRW("bench.statrw", false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Write(nil)
+		l.Done(nil)
+	}
+}
+
+// BenchmarkUncontendedObjectLockRef: one object lock/reference/release
+// cycle — the Section 8 hot path — with the object unclassed.
+func BenchmarkUncontendedObjectLockRef(b *testing.B) {
+	var o object.Object
+	o.Init("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Lock()
+		o.Reference()
+		o.Unlock()
+		o.Release(nil)
+	}
+}
+
+// BenchmarkUncontendedObjectLockRefClassed: same cycle with the object
+// registered, tracing off.
+func BenchmarkUncontendedObjectLockRefClassed(b *testing.B) {
+	trace.Disable()
+	var o object.Object
+	o.Init("bench")
+	o.SetClass(trace.NewClass("bench", "bench.object", trace.KindObject))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Lock()
+		o.Reference()
+		o.Unlock()
+		o.Release(nil)
+	}
+}
+
+// BenchmarkUncontendedZone: a TryAlloc/Free cycle through a classed zone
+// (zones are always registered), tracing off.
+func BenchmarkUncontendedZone(b *testing.B) {
+	trace.Disable()
+	z := zalloc.NewZone[int]("bench", 4, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		el, err := z.TryAlloc()
+		if err != nil {
+			b.Fatal(err)
+		}
+		z.Free(el)
+	}
+}
