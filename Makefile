@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench locktrace
+.PHONY: all build vet test race bench bench-smoke locktrace
 
 all: vet build test
 
@@ -16,10 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Experiment benchmarks (E1-E12) plus the uncontended fast-path pairs
+# Experiment benchmarks (E1-E13) plus the uncontended fast-path pairs
 # that pin the observability layer's disabled-tracing overhead.
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# One-iteration benchmark pass (also run in CI): catches bit-rot in the
+# uncontended fast-path benchmarks without paying for a full bench run.
+bench-smoke:
+	$(GO) test -bench=BenchmarkUncontended -benchtime=1x -run='^$$' .
 
 locktrace:
 	$(GO) run ./cmd/locktrace

@@ -1,4 +1,4 @@
-// Benchmarks: one per experiment in the DESIGN.md index (E1–E12), runnable
+// Benchmarks: one per experiment in the DESIGN.md index (E1–E13), runnable
 // with `go test -bench=. -benchmem`. Each benchmark measures the hot
 // operation behind its experiment; the full tables (parameter sweeps,
 // baselines, deadlock demonstrations) come from the same drivers via
@@ -6,9 +6,12 @@
 package machlock_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"machlock/internal/core/cxlock"
 	"machlock/internal/core/object"
@@ -406,6 +409,72 @@ func BenchmarkE12Uniproc(b *testing.B) {
 		<-done
 		b.ReportMetric(float64(retries)/float64(b.N), "retries/read")
 	})
+}
+
+// BenchmarkE13ReadScaling: contended read acquisition on the complex lock,
+// unbiased vs reader-biased, across reader counts up to GOMAXPROCS with 0
+// or 1 background writers. The biased lock's readers publish in the
+// visible-readers table and skip the interlock; the writer (when present)
+// revokes the bias, so the w1 rows show the revocation/cooldown cost.
+func BenchmarkE13ReadScaling(b *testing.B) {
+	maxReaders := runtime.GOMAXPROCS(0)
+	if maxReaders < 4 {
+		maxReaders = 4
+	}
+	var counts []int
+	for n := 1; n <= maxReaders; n *= 2 {
+		counts = append(counts, n)
+	}
+	for _, biased := range []bool{false, true} {
+		name := "interlock"
+		if biased {
+			name = "biased"
+		}
+		for _, nr := range counts {
+			for _, nw := range []int{0, 1} {
+				b.Run(fmt.Sprintf("%s/r%d/w%d", name, nr, nw), func(b *testing.B) {
+					l := cxlock.NewWith(cxlock.Options{ReaderBias: biased, Name: "bench.e13"})
+					stop := make(chan struct{})
+					var writers []*sched.Thread
+					for i := 0; i < nw; i++ {
+						writers = append(writers, sched.Go("w", func(self *sched.Thread) {
+							for {
+								select {
+								case <-stop:
+									return
+								default:
+								}
+								l.Write(self)
+								l.Done(self)
+								time.Sleep(200 * time.Microsecond) // mostly-read mix
+							}
+						}))
+					}
+					per := b.N/nr + 1
+					b.ResetTimer()
+					var readers []*sched.Thread
+					for i := 0; i < nr; i++ {
+						readers = append(readers, sched.Go("r", func(self *sched.Thread) {
+							for j := 0; j < per; j++ {
+								l.Read(self)
+								l.Done(self)
+							}
+						}))
+					}
+					for _, r := range readers {
+						r.Join()
+					}
+					b.StopTimer()
+					close(stop)
+					for _, w := range writers {
+						w.Join()
+					}
+					s := l.Stats()
+					b.ReportMetric(float64(s.BiasedReads)/float64(s.ReadAcquisitions+1), "biased-frac")
+				})
+			}
+		}
+	}
 }
 
 // benchKObj gives the RPC bench a minimal kernel object.

@@ -76,38 +76,41 @@ func spinSweep(acquisitions int) {
 }
 
 // rwSweep prints complex-lock throughput across reader/writer mixes and
-// thread counts, sleepable and not.
+// thread counts — sleepable or not, reader-biased or not.
 func rwSweep(opsPerThread int) {
-	fmt.Println("sleepable,threads,write_pct,ops,elapsed_ms,ops_per_sec,sleeps,spins")
+	fmt.Println("sleepable,biased,threads,write_pct,ops,elapsed_ms,ops_per_sec,sleeps,spins,biased_reads,revocations")
 	for _, sleepable := range []bool{false, true} {
-		for _, threads := range []int{1, 2, 4, 8} {
-			for _, writePct := range []int{0, 10, 50, 100} {
-				l := cxlock.New(sleepable)
-				start := time.Now()
-				var ths []*sched.Thread
-				for i := 0; i < threads; i++ {
-					ths = append(ths, sched.Go("w", func(self *sched.Thread) {
-						for n := 0; n < opsPerThread; n++ {
-							if n%100 < writePct {
-								l.Write(self)
-								l.Done(self)
-							} else {
-								l.Read(self)
-								l.Done(self)
+		for _, biased := range []bool{false, true} {
+			for _, threads := range []int{1, 2, 4, 8} {
+				for _, writePct := range []int{0, 10, 50, 100} {
+					l := cxlock.NewWith(cxlock.Options{Sleep: sleepable, ReaderBias: biased, Name: "lockstat.rw"})
+					start := time.Now()
+					var ths []*sched.Thread
+					for i := 0; i < threads; i++ {
+						ths = append(ths, sched.Go("w", func(self *sched.Thread) {
+							for n := 0; n < opsPerThread; n++ {
+								if n%100 < writePct {
+									l.Write(self)
+									l.Done(self)
+								} else {
+									l.Read(self)
+									l.Done(self)
+								}
 							}
-						}
-					}))
+						}))
+					}
+					for _, th := range ths {
+						th.Join()
+					}
+					elapsed := time.Since(start)
+					total := int64(threads * opsPerThread)
+					s := l.Stats()
+					fmt.Printf("%v,%v,%d,%d,%d,%.1f,%.0f,%d,%d,%d,%d\n",
+						sleepable, biased, threads, writePct, total,
+						float64(elapsed.Microseconds())/1000,
+						float64(total)/elapsed.Seconds(), s.Sleeps, s.Spins,
+						s.BiasedReads, s.BiasRevocations)
 				}
-				for _, th := range ths {
-					th.Join()
-				}
-				elapsed := time.Since(start)
-				total := int64(threads * opsPerThread)
-				s := l.Stats()
-				fmt.Printf("%v,%d,%d,%d,%.1f,%.0f,%d,%d\n",
-					sleepable, threads, writePct, total,
-					float64(elapsed.Microseconds())/1000,
-					float64(total)/elapsed.Seconds(), s.Sleeps, s.Spins)
 			}
 		}
 	}

@@ -106,13 +106,13 @@ func runVM(threads, ops int) {
 func runIPC(threads, ops int) {
 	space := ipc.NewSpace()
 	port := ipc.NewPort("locktrace")
-	name := space.Insert(port)
+	name := space.Insert(nil, port)
 
 	var ths []*sched.Thread
 	for i := 0; i < threads; i++ {
 		ths = append(ths, sched.Go(fmt.Sprintf("ipc-%d", i), func(self *sched.Thread) {
 			for n := 0; n < ops; n++ {
-				p, err := space.Translate(name)
+				p, err := space.Translate(self, name)
 				if err != nil {
 					panic(err)
 				}
@@ -131,7 +131,7 @@ func runIPC(threads, ops int) {
 	for _, th := range ths {
 		th.Join()
 	}
-	space.DestroyAll()
+	space.DestroyAll(nil)
 	port.Destroy()
 }
 

@@ -34,13 +34,18 @@
 //	// ... critical section: may not block while held ...
 //	lock.Unlock()
 //
-//	rw := machlock.NewComplexLock(true) // Sleep option on
+//	rw := machlock.NewLock(machlock.WithSleep(), machlock.WithReaderBias())
 //	worker := machlock.Go("worker", func(self *machlock.Thread) {
-//	    rw.Read(self)
+//	    rw.Read(self) // biased: published with one store, no interlock
 //	    defer rw.Done(self)
 //	    // ... shared read ...
 //	})
 //	worker.Join()
+//
+// NewLock composes the Appendix B options — WithSleep, WithRecursive,
+// WithReaderBias, WithName, WithClass — in one constructor; the Locker and
+// RWLocker interfaces abstract the resulting locks for code that takes
+// either.
 //
 // The deeper subsystems the paper describes — the simulated multiprocessor
 // with coherence accounting, the VM system with the vm_map_pageable

@@ -52,8 +52,13 @@ func simpleLocks() {
 
 // complexLocks: many readers share; writers exclude and have priority; a
 // writer that needs to read afterwards downgrades (which cannot fail).
+// Built with the option API: Sleep makes waiters block, ReaderBias lets
+// concurrent readers skip the central interlock entirely.
 func complexLocks() {
-	rw := machlock.NewComplexLock(true) // Sleep option: waiters block
+	rw := machlock.NewLock(
+		machlock.WithSleep(),
+		machlock.WithReaderBias(),
+		machlock.WithName("quickstart.table"))
 	table := map[string]int{"a": 1}
 	var reads atomic.Int64
 

@@ -72,7 +72,7 @@ func TestKernelSmoke(t *testing.T) {
 		p.SetKObject(ipc.KindPager, anchor)
 		return p
 	})
-	pagerName := task.InsertPort(pagerPort)
+	pagerName := task.InsertPort(boss, pagerPort)
 
 	pagerPort.TakeRef()
 	pagerThread := sched.Go("pager", func(self *sched.Thread) {
@@ -84,7 +84,7 @@ func TestKernelSmoke(t *testing.T) {
 	// lookup clones a port reference, the stub call carries the Section 10
 	// sequence, and the data comes back typed.
 	task.Map().SetFetcher(func(th *sched.Thread, o *vm.Object, off uint64) []byte {
-		port, err := task.TranslatePort(pagerName)
+		port, err := task.TranslatePort(th, pagerName)
 		if err != nil {
 			return nil
 		}
@@ -182,7 +182,7 @@ func TestKernelSmoke(t *testing.T) {
 	if err := batch.Destroy(); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(host.DefaultSet().Processors()); got != 4 {
+	if got := len(host.DefaultSet().Processors(nil)); got != 4 {
 		t.Fatalf("processors after set destroy = %d", got)
 	}
 }

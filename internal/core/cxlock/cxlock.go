@@ -40,13 +40,15 @@ import (
 
 // Stats is a snapshot of a lock's accounting.
 type Stats struct {
-	ReadAcquisitions  int64
+	ReadAcquisitions  int64 // all read holds granted, biased fast path included
 	WriteAcquisitions int64
 	Sleeps            int64 // times a requestor blocked
 	Spins             int64 // spin iterations while waiting
 	Upgrades          int64 // successful read-to-write upgrades
 	FailedUpgrades    int64 // upgrades that failed and released the read lock
 	Downgrades        int64
+	BiasedReads       int64 // subset of ReadAcquisitions that took the bias fast path
+	BiasRevocations   int64 // times a write request revoked the reader bias
 }
 
 // Lock is a complex lock (lock_data_t). Create with New or initialize an
@@ -65,6 +67,19 @@ type Lock struct {
 	// write recursion. holder is set by SetRecursive while write-held.
 	holder *sched.Thread
 	depth  int32
+
+	// norecurse forbids SetRecursive; set (inverted, so the zero value
+	// keeps the permissive legacy behaviour) by InitWith when the
+	// Recursive option was not requested.
+	norecurse bool
+
+	// name labels the lock in reports; set by InitWith.
+	name string
+
+	// bias is the ReaderBias option state (see bias.go); nil — the
+	// default and the zero value — means every reader uses the paper's
+	// interlocked protocol.
+	bias *biasTable
 
 	// Mach25UpgradeBug reproduces the documented Mach 2.5 defect in
 	// lock_try_read_to_write: it "will block even if the Sleep option is
@@ -93,6 +108,10 @@ type Lock struct {
 
 // SetClass registers the lock with the observability layer. Call before
 // the lock is in concurrent use.
+//
+// Deprecated: pass Options.Class to NewWith or InitWith instead; mutating
+// a lock after construction is exactly what lock_init-style initialization
+// exists to avoid. Retained for embedded zero-value locks.
 func (l *Lock) SetClass(c *trace.Class) { l.class = c }
 
 // instrOn reports whether acquisition timing is wanted right now: a
@@ -132,16 +151,20 @@ type lockStats struct {
 
 // New creates a complex lock; canSleep enables the Sleep option
 // (lock_init).
+//
+// Deprecated: use NewWith, which exposes every option; New remains as a
+// thin wrapper for existing callers.
 func New(canSleep bool) *Lock {
-	l := &Lock{}
-	l.Init(canSleep)
-	return l
+	return NewWith(Options{Sleep: canSleep, Recursive: true})
 }
 
 // Init initializes an embedded lock value (lock_init). It must not be
 // called on a lock in use.
+//
+// Deprecated: use InitWith; Init remains as a thin wrapper for existing
+// callers.
 func (l *Lock) Init(canSleep bool) {
-	l.canSleep = canSleep
+	l.InitWith(Options{Sleep: canSleep, Recursive: true})
 }
 
 // CanSleep reports whether the Sleep option is enabled.
@@ -154,6 +177,12 @@ func (l *Lock) CanSleep() bool {
 // SetSleepable enables or disables the Sleep option (lock_sleepable). The
 // paper: "The Sleep option can be enabled or disabled on a dynamic basis
 // for each lock."
+//
+// Deprecated: decide sleepability at initialization with Options.Sleep.
+// Mutating it afterwards is a footgun the paper's own lock_init never
+// offered — a waiter already spinning keeps spinning, and a lock made
+// non-sleepable can strand a sleeper — which is why no kernel subsystem
+// here uses it.
 func (l *Lock) SetSleepable(canSleep bool) {
 	l.interlock.Lock()
 	l.canSleep = canSleep
@@ -255,16 +284,22 @@ func (l *Lock) Write(t *sched.Thread) {
 		l.wait(t)
 	}
 	l.wantWrite = true
-	// Wait for readers to drain, deferring to any pending upgrade:
-	// upgrades are favored over writes because the upgrader already
-	// holds standing in the lock.
-	for l.readCount != 0 || l.wantUpgrade {
+	// Revoke the reader bias (if armed) before draining: fast-path
+	// readers must either be visible in the slot table or observe the
+	// disarmed flag and queue behind us.
+	l.revokeBiasLocked()
+	// Wait for readers to drain — interlocked readers and published
+	// slot readers alike — deferring to any pending upgrade: upgrades
+	// are favored over writes because the upgrader already holds
+	// standing in the lock.
+	for l.readCount != 0 || l.wantUpgrade || l.biasReadersVisible() {
 		if instr && !waited {
 			waitStart = time.Now()
 			waited = true
 		}
 		l.wait(t)
 	}
+	l.noteBiasDrainedLocked()
 	l.stats.writes.Add(1)
 	if instr {
 		l.acquiredAt = nowNs()
@@ -282,6 +317,10 @@ func (l *Lock) Write(t *sched.Thread) {
 // read requests are not blocked by pending write or upgrade requests; all
 // other readers queue behind them (writer priority).
 func (l *Lock) Read(t *sched.Thread) {
+	if l.readFast(t) {
+		obAcquired(l, t)
+		return
+	}
 	instr := l.instrOn()
 	var waitStart time.Time
 	waited := false
@@ -306,6 +345,7 @@ func (l *Lock) Read(t *sched.Thread) {
 	}
 	l.readCount++
 	l.stats.reads.Add(1)
+	l.maybeRearmLocked()
 	// Occupancy: the hold sample spans from the first reader in to the
 	// last reader out, so only the 0→1 transition stamps the clock.
 	if instr && l.readCount == 1 {
@@ -329,6 +369,12 @@ func (l *Lock) Read(t *sched.Thread) {
 func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 	instr := l.instrOn()
 	l.interlock.Lock()
+	// A hold taken on the bias fast path lives in the slot table, not in
+	// readCount; migrate it under the interlock so the upgrade protocol
+	// below operates on the representation it understands. The write-side
+	// drain counts holds in either representation, so the hold is never
+	// invisible during the move.
+	l.migrateBiasHoldLocked(t)
 	if t != nil && l.holder == t {
 		if !l.wantWrite && !l.wantUpgrade {
 			// "…and upgrades of recursive read acquisitions" are
@@ -363,9 +409,11 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 		return true
 	}
 	l.wantUpgrade = true
-	for l.readCount != 0 {
+	l.revokeBiasLocked()
+	for l.readCount != 0 || l.biasReadersVisible() {
 		l.wait(t)
 	}
+	l.noteBiasDrainedLocked()
 	l.stats.upgrades.Add(1)
 	// The hold continues across the upgrade: if this thread was the only
 	// reader its occupancy stamp carries over; if other readers ended the
@@ -403,6 +451,10 @@ func (l *Lock) WriteToRead(t *sched.Thread) {
 // either by a single writer or by one or more readers, thus lock_done can
 // always determine how the lock is held and release it appropriately."
 func (l *Lock) Done(t *sched.Thread) {
+	if l.doneFast(t) {
+		obReleased(l, t)
+		return
+	}
 	l.interlock.Lock()
 	endHold := false
 	switch {
@@ -435,6 +487,10 @@ func (l *Lock) Done(t *sched.Thread) {
 // TryRead makes a single attempt to acquire the lock for reading
 // (lock_try_read); it never spins or blocks.
 func (l *Lock) TryRead(t *sched.Thread) bool {
+	if l.readFast(t) {
+		obAcquired(l, t)
+		return true
+	}
 	instr := l.instrOn()
 	l.interlock.Lock()
 	defer l.interlock.Unlock()
@@ -453,6 +509,7 @@ func (l *Lock) TryRead(t *sched.Thread) bool {
 	}
 	l.readCount++
 	l.stats.reads.Add(1)
+	l.maybeRearmLocked()
 	if instr && l.readCount == 1 {
 		l.acquiredAt = nowNs()
 	}
@@ -480,6 +537,17 @@ func (l *Lock) TryWrite(t *sched.Thread) bool {
 	if l.wantWrite || l.wantUpgrade || l.readCount != 0 {
 		return false
 	}
+	// Reader bias: disarm BEFORE scanning the slot table. A fast-path
+	// reader that completed its recheck before the disarm is visible in
+	// the scan (we fail); one that rechecks after it self-evicts. Either
+	// way no fast reader coexists with a granted try-write. The bias
+	// stays revoked so a try-loop converges; slow-path readers re-arm it
+	// after the cooldown.
+	l.revokeBiasLocked()
+	if l.biasReadersVisible() {
+		return false
+	}
+	l.noteBiasDrainedLocked()
 	l.wantWrite = true
 	l.stats.writes.Add(1)
 	if instr {
@@ -501,6 +569,8 @@ func (l *Lock) TryWrite(t *sched.Thread) bool {
 // used this routine.)
 func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
 	l.interlock.Lock()
+	// As in ReadToWrite: move a fast-path hold into readCount first.
+	l.migrateBiasHoldLocked(t)
 	if t != nil && l.holder == t {
 		if !l.wantWrite && !l.wantUpgrade {
 			l.interlock.Unlock()
@@ -517,7 +587,8 @@ func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
 	}
 	l.readCount--
 	l.wantUpgrade = true
-	for l.readCount != 0 {
+	l.revokeBiasLocked()
+	for l.readCount != 0 || l.biasReadersVisible() {
 		if l.Mach25UpgradeBug && t != nil {
 			// Mach 2.5: blocks even when the lock is not sleepable.
 			l.waiting = true
@@ -530,6 +601,7 @@ func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
 			l.wait(t)
 		}
 	}
+	l.noteBiasDrainedLocked()
 	l.stats.upgrades.Add(1)
 	if l.instrOn() && l.acquiredAt == 0 {
 		l.acquiredAt = nowNs()
@@ -546,6 +618,9 @@ func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
 func (l *Lock) SetRecursive(t *sched.Thread) {
 	if t == nil {
 		panic("cxlock: SetRecursive requires a thread identity")
+	}
+	if l.norecurse {
+		panic("cxlock: Recursive option not enabled for this lock (Options.Recursive)")
 	}
 	l.interlock.Lock()
 	defer l.interlock.Unlock()
@@ -585,25 +660,43 @@ func (l *Lock) RecursiveHolder() *sched.Thread {
 func (l *Lock) HeldForWrite() bool {
 	l.interlock.Lock()
 	defer l.interlock.Unlock()
-	return (l.wantWrite || l.wantUpgrade) && l.readCount == 0
+	return (l.wantWrite || l.wantUpgrade) && l.readCount == 0 && !l.biasReadersVisible()
 }
 
-// Readers returns the current read-hold count. Advisory.
+// Readers returns the current read-hold count, published fast-path
+// readers included. Advisory.
 func (l *Lock) Readers() int {
 	l.interlock.Lock()
 	defer l.interlock.Unlock()
-	return int(l.readCount)
+	n := int(l.readCount)
+	if b := l.bias; b != nil {
+		for i := range b.slots {
+			if b.slots[i].owner.Load() != nil {
+				n++
+			}
+		}
+	}
+	return n
 }
 
-// Stats returns a snapshot of the lock's accounting.
+// Stats returns a snapshot of the lock's accounting. Read acquisitions
+// taken on the bias fast path are included in ReadAcquisitions (and
+// broken out in BiasedReads), so enabling the bias never silently
+// undercounts.
 func (l *Lock) Stats() Stats {
-	return Stats{
-		ReadAcquisitions:  l.stats.reads.Load(),
+	biased := l.biasReadCount()
+	s := Stats{
+		ReadAcquisitions:  l.stats.reads.Load() + biased,
 		WriteAcquisitions: l.stats.writes.Load(),
 		Sleeps:            l.stats.sleeps.Load(),
 		Spins:             l.stats.spins.Load(),
 		Upgrades:          l.stats.upgrades.Load(),
 		FailedUpgrades:    l.stats.failedUpgrades.Load(),
 		Downgrades:        l.stats.downgrades.Load(),
+		BiasedReads:       biased,
 	}
+	if b := l.bias; b != nil {
+		s.BiasRevocations = b.revocations.Load()
+	}
+	return s
 }

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"machlock/internal/core/cxlock"
+	"machlock/internal/sched"
+	"machlock/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "e13",
+		Title: "Reader bias removes the read-side interlock bottleneck",
+		Run:   runE13,
+	})
+}
+
+// runE13: contended read scaling of the complex lock with and without the
+// ReaderBias option. Every unbiased read acquisition funnels through the
+// lock's central interlock — one cache line all readers serialize on, the
+// coarse-grained cost the paper's protocol accepts. Biased readers publish
+// themselves in the per-lock visible-readers table instead, so read-only
+// scaling should be flat; each writer revokes the bias, so as writers are
+// mixed in the two variants converge (the adaptive cooldown keeps the lock
+// in the unbiased protocol during write-heavy phases).
+func runE13(cfg Config) *Result {
+	opsPerReader := cfg.scale(2_000, 50_000)
+	reps := cfg.scale(1, 3)
+
+	res := &Result{
+		ID:    "e13",
+		Title: "Reader bias removes the read-side interlock bottleneck",
+		Claim: "every complex-lock read acquisition takes the central interlock, so concurrent readers of a hot lock serialize on one cache line; a BRAVO-style visible-readers table makes read acquisition a single uncontended store until a writer revokes the bias (Sections 4, 11; Dice & Kogan)",
+	}
+	table := stats.NewTable("read scaling, biased vs unbiased complex lock",
+		"readers", "writers", "lock", "elapsed", "reads/s", "biased-reads", "revocations", "speedup")
+
+	maxReaders := runtime.GOMAXPROCS(0)
+	if maxReaders < 8 {
+		maxReaders = 8
+	}
+	var readerCounts []int
+	for n := 1; n <= maxReaders; n *= 2 {
+		readerCounts = append(readerCounts, n)
+	}
+
+	for _, nw := range []int{0, 1} {
+		for _, nr := range readerCounts {
+			// Oversubscribe so the readers genuinely overlap (the host may
+			// have fewer cores than the sweep's widest point).
+			prev := runtime.GOMAXPROCS(0)
+			if prev < nr+nw {
+				runtime.GOMAXPROCS(nr + nw)
+			}
+
+			var baseline float64
+			for _, biased := range []bool{false, true} {
+				l := cxlock.NewWith(cxlock.Options{ReaderBias: biased, Name: "e13"})
+				elapsed := bestOf(reps, func() {
+					stop := make(chan struct{})
+					var writers []*sched.Thread
+					for i := 0; i < nw; i++ {
+						writers = append(writers, sched.Go("e13-w", func(self *sched.Thread) {
+							for {
+								select {
+								case <-stop:
+									return
+								default:
+								}
+								l.Write(self)
+								spinWork(200)
+								l.Done(self)
+								spinWork(20_000) // think: mostly-read workload
+							}
+						}))
+					}
+					var readers []*sched.Thread
+					for i := 0; i < nr; i++ {
+						readers = append(readers, sched.Go("e13-r", func(self *sched.Thread) {
+							for n := 0; n < opsPerReader; n++ {
+								l.Read(self)
+								spinWork(20)
+								l.Done(self)
+							}
+						}))
+					}
+					for _, r := range readers {
+						r.Join()
+					}
+					close(stop)
+					for _, w := range writers {
+						w.Join()
+					}
+				})
+
+				name := "mach (interlock)"
+				if biased {
+					name = "reader-biased"
+				}
+				// bestOf keeps the fastest rep; rate from that rep alone.
+				rate := float64(nr) * float64(opsPerReader) / elapsed.Seconds()
+				speedup := "1.00x"
+				if !biased {
+					baseline = rate
+				} else if baseline > 0 {
+					speedup = fmt.Sprintf("%.2fx", rate/baseline)
+				}
+				s := l.Stats()
+				table.AddRow(nr, nw, name, elapsed.Round(time.Microsecond),
+					fmt.Sprintf("%.0f", rate), s.BiasedReads, s.BiasRevocations, speedup)
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"speedup is biased over unbiased reads/s at the same reader/writer mix",
+		"with 0 writers the bias is never revoked: every read is one uncontended store, and the gap versus the interlock grows with reader count (on a single-core host the scheduler serializes readers, so expect parity there)",
+		"with 1 writer each write revokes the bias and drains the slot table; the adaptive cooldown (9x drain time) batches revocations so a write-heavy phase pays the scan once, which is why the biased lock degrades gracefully instead of thrashing",
+		"biased-reads of the unbiased lock is 0 by construction; revocations of the 0-writer runs are 0 — both columns double as protocol sanity checks")
+	return res
+}

@@ -1,5 +1,5 @@
 // Package experiments implements the machlock evaluation harness: one
-// driver per experiment in DESIGN.md's experiment index (E1–E12), each
+// driver per experiment in DESIGN.md's experiment index (E1–E13), each
 // reproducing a claim from "Locking and Reference Counting in the Mach
 // Kernel". The same drivers back the root-level testing.B benchmarks and
 // the cmd/machbench binary, so EXPERIMENTS.md rows can be regenerated with

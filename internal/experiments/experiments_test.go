@@ -11,8 +11,8 @@ import (
 // experiment driver.
 func TestAllExperimentsRunQuick(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registered experiments = %d, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registered experiments = %d, want 13", len(all))
 	}
 	for _, e := range all {
 		e := e
@@ -56,7 +56,7 @@ func TestLookup(t *testing.T) {
 
 func TestOrdering(t *testing.T) {
 	all := All()
-	for i, want := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"} {
+	for i, want := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"} {
 		if all[i].ID != want {
 			t.Fatalf("position %d = %s, want %s", i, all[i].ID, want)
 		}

@@ -4,16 +4,19 @@ import (
 	"errors"
 	"sync"
 	"testing"
+
+	"machlock/internal/sched"
 )
 
 func TestSpaceInsertTranslate(t *testing.T) {
 	s := NewSpace()
 	p := NewPort("p")
-	n := s.Insert(p)
+	self := sched.New("tester")
+	n := s.Insert(self, p)
 	if refsOf(p) != 2 {
 		t.Fatalf("refs after insert = %d, want 2 (creator + table)", refsOf(p))
 	}
-	got, err := s.Translate(n)
+	got, err := s.Translate(self, n)
 	if err != nil || got != p {
 		t.Fatalf("Translate = %v, %v", got, err)
 	}
@@ -21,7 +24,7 @@ func TestSpaceInsertTranslate(t *testing.T) {
 		t.Fatalf("refs after translate = %d, want 3 (cloned for caller)", refsOf(p))
 	}
 	got.Release(nil)
-	if err := s.Remove(n); err != nil {
+	if err := s.Remove(self, n); err != nil {
 		t.Fatal(err)
 	}
 	if refsOf(p) != 1 {
@@ -32,10 +35,10 @@ func TestSpaceInsertTranslate(t *testing.T) {
 
 func TestSpaceBadName(t *testing.T) {
 	s := NewSpace()
-	if _, err := s.Translate(99); !errors.Is(err, ErrBadName) {
+	if _, err := s.Translate(nil, 99); !errors.Is(err, ErrBadName) {
 		t.Fatalf("Translate bad name = %v", err)
 	}
-	if err := s.Remove(99); !errors.Is(err, ErrBadName) {
+	if err := s.Remove(nil, 99); !errors.Is(err, ErrBadName) {
 		t.Fatalf("Remove bad name = %v", err)
 	}
 }
@@ -45,17 +48,17 @@ func TestSpaceNamesAreUnique(t *testing.T) {
 	p := NewPort("p")
 	seen := make(map[Name]bool)
 	for i := 0; i < 100; i++ {
-		n := s.Insert(p)
+		n := s.Insert(nil, p)
 		if seen[n] {
 			t.Fatalf("name %d reused", n)
 		}
 		seen[n] = true
 	}
-	if s.Len() != 100 {
-		t.Fatalf("len = %d", s.Len())
+	if s.Len(nil) != 100 {
+		t.Fatalf("len = %d", s.Len(nil))
 	}
-	s.DestroyAll()
-	if s.Len() != 0 {
+	s.DestroyAll(nil)
+	if s.Len(nil) != 0 {
 		t.Fatal("names survive DestroyAll")
 	}
 	if refsOf(p) != 1 {
@@ -67,17 +70,19 @@ func TestSpaceNamesAreUnique(t *testing.T) {
 func TestSpaceConcurrentTranslationNeverDangles(t *testing.T) {
 	// Translation clones under the space lock, so a concurrent Remove can
 	// never leave a caller with a dangling port: the clone happened while
-	// the table's reference pinned the structure.
+	// the table's reference pinned the structure. Each translator has its
+	// own thread identity, exercising the reader-bias fast path.
 	s := NewSpace()
 	p := NewPort("p")
-	n := s.Insert(p)
+	n := s.Insert(nil, p)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			self := sched.New("translator")
 			for j := 0; j < 500; j++ {
-				got, err := s.Translate(n)
+				got, err := s.Translate(self, n)
 				if err != nil {
 					return // removed; fine
 				}
@@ -88,7 +93,40 @@ func TestSpaceConcurrentTranslationNeverDangles(t *testing.T) {
 			}
 		}()
 	}
-	s.Remove(n)
+	s.Remove(nil, n)
 	wg.Wait()
+	p.Destroy()
+}
+
+func TestSpaceBiasAccounting(t *testing.T) {
+	// Concurrent translators on a biased space lock must all appear in
+	// Stats — including the ones that took the publish fast path.
+	s := NewSpace()
+	p := NewPort("p")
+	n := s.Insert(nil, p)
+	const translators, rounds = 4, 200
+	var wg sync.WaitGroup
+	for i := 0; i < translators; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			self := sched.New("translator")
+			for j := 0; j < rounds; j++ {
+				got, err := s.Translate(self, n)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got.Release(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.ReadAcquisitions < translators*rounds {
+		t.Fatalf("ReadAcquisitions = %d, want >= %d (fast-path reads must count)",
+			st.ReadAcquisitions, translators*rounds)
+	}
+	s.DestroyAll(nil)
 	p.Destroy()
 }

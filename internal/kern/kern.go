@@ -15,7 +15,6 @@ import (
 	"fmt"
 
 	"machlock/internal/core/object"
-	"machlock/internal/core/splock"
 	"machlock/internal/ipc"
 	"machlock/internal/sched"
 	"machlock/internal/vm"
@@ -30,9 +29,10 @@ var ErrTerminated = errors.New("kern: terminated")
 type Task struct {
 	object.Object // the task lock, reference count, active flag
 
-	// ipcLock is the task's second lock, taken for port-name
-	// translations so they parallelize against task operations.
-	ipcLock splock.Lock
+	// The task's second lock — the one that lets translations
+	// parallelize against task operations — lives inside the space
+	// itself: a reader-biased complex lock, so concurrent translators
+	// also parallelize against each other.
 
 	space    *ipc.Space
 	vmMap    *vm.Map
@@ -75,21 +75,19 @@ func (t *Task) Map() *vm.Map { return t.vmMap }
 // Space returns the task's port name space.
 func (t *Task) Space() *ipc.Space { return t.space }
 
-// InsertPort registers a port in the task's name space under the
+// InsertPort registers a port in the task's name space under the space's
 // translation lock — the parallel path that never touches the task lock.
-func (t *Task) InsertPort(p *ipc.Port) ipc.Name {
-	t.ipcLock.Lock()
-	defer t.ipcLock.Unlock()
-	return t.space.Insert(p)
+// cur is the inserting thread (nil forces the lock's slow path).
+func (t *Task) InsertPort(cur *sched.Thread, p *ipc.Port) ipc.Name {
+	return t.space.Insert(cur, p)
 }
 
 // TranslatePort resolves a port name, cloning a reference for the caller.
-// Translation holds only the ipc lock, so it runs in parallel with task
-// operations that hold the task lock.
-func (t *Task) TranslatePort(n ipc.Name) (*ipc.Port, error) {
-	t.ipcLock.Lock()
-	defer t.ipcLock.Unlock()
-	return t.space.Translate(n)
+// Translation holds only the space's reader-biased lock, so it runs in
+// parallel both with task operations (which hold the task lock) and with
+// other translations (which share the read side).
+func (t *Task) TranslatePort(cur *sched.Thread, n ipc.Name) (*ipc.Port, error) {
+	return t.space.Translate(cur, n)
 }
 
 // Suspend increments the task's suspend count (a task operation: task
@@ -222,7 +220,7 @@ func (t *Task) Terminate(cur *sched.Thread) error {
 		for _, th := range threads {
 			th.Terminate(cur) // a lost race here is fine: already dying
 		}
-		t.space.DestroyAll()
+		t.space.DestroyAll(cur)
 		t.vmMap.Release(cur)
 	}) {
 		for _, th := range threads {

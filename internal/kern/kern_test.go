@@ -96,10 +96,10 @@ func TestPortTranslationParallelToTaskOps(t *testing.T) {
 	// while the task lock is held.
 	task := newTask("t")
 	p := ipc.NewPort("svc")
-	n := task.InsertPort(p)
+	n := task.InsertPort(nil, p)
 
 	task.Lock() // task lock held...
-	got, err := task.TranslatePort(n)
+	got, err := task.TranslatePort(nil, n)
 	task.Unlock()
 	if err != nil || got != p {
 		t.Fatalf("translate under task lock = %v %v", got, err)
@@ -110,7 +110,7 @@ func TestPortTranslationParallelToTaskOps(t *testing.T) {
 
 func TestTranslateBadName(t *testing.T) {
 	task := newTask("t")
-	if _, err := task.TranslatePort(999); !errors.Is(err, ipc.ErrBadName) {
+	if _, err := task.TranslatePort(nil, 999); !errors.Is(err, ipc.ErrBadName) {
 		t.Fatalf("err = %v", err)
 	}
 }

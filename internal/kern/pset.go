@@ -4,17 +4,20 @@ import (
 	"errors"
 	"fmt"
 
+	"machlock/internal/core/cxlock"
 	"machlock/internal/core/object"
 	"machlock/internal/core/splock"
 	"machlock/internal/hw"
+	"machlock/internal/sched"
 	"machlock/internal/trace"
 )
 
 // Observability classes for the processor-allocation subsystem.
 var (
-	classProcessor = trace.NewClass("kern", "kern.processor", trace.KindObject)
-	classPset      = trace.NewClass("kern", "kern.pset", trace.KindObject)
-	classAssign    = trace.NewClass("kern", "kern.host.assign", trace.KindSpin)
+	classProcessor   = trace.NewClass("kern", "kern.processor", trace.KindObject)
+	classPset        = trace.NewClass("kern", "kern.pset", trace.KindObject)
+	classPsetMembers = trace.NewClass("kern", "kern.pset.members", trace.KindComplex)
+	classAssign      = trace.NewClass("kern", "kern.host.assign", trace.KindSpin)
 )
 
 // Processor sets are the paper's cited example of a subsystem designed on
@@ -48,12 +51,20 @@ func (p *Processor) AssignedSet() *ProcessorSet {
 }
 
 // ProcessorSet is a named group of processors with assigned tasks.
+//
+// The membership slices live under their own reader-biased complex lock
+// (members), separate from the object lock, so scheduler-style iteration
+// over a set's processors and tasks scales with readers instead of
+// serializing on the set's object lock. Lock order: object lock before
+// members.
 type ProcessorSet struct {
 	object.Object
 	host      *Host
 	isDefault bool
-	procs     []*Processor
-	tasks     []*Task
+
+	members cxlock.Lock
+	procs   []*Processor
+	tasks   []*Task
 }
 
 // Host owns the processor sets of one machine: the default set, the
@@ -89,6 +100,11 @@ func (h *Host) newSet(name string, isDefault bool) *ProcessorSet {
 	s := &ProcessorSet{host: h, isDefault: isDefault}
 	s.Init(name)
 	s.SetClass(classPset)
+	s.members.InitWith(cxlock.Options{
+		ReaderBias: true, // iteration dominates; reassignment is rare
+		Name:       "kern.pset.members",
+		Class:      classPsetMembers,
+	})
 	return s
 }
 
@@ -106,7 +122,9 @@ func (h *Host) NewSet(name string) *ProcessorSet { return h.newSet(name, false) 
 func (h *Host) attach(p *Processor, set *ProcessorSet) {
 	set.Lock()
 	set.Reference() // the processor's set pointer
+	set.members.Write(nil)
 	set.procs = append(set.procs, p)
+	set.members.Done(nil)
 	set.Unlock()
 	p.Lock()
 	p.set = set
@@ -137,22 +155,25 @@ func (h *Host) AssignProcessor(p *Processor, s *ProcessorSet) error {
 		return nil
 	}
 
-	// Detach from the old set.
-	old.Lock()
+	// Detach from the old set. The membership slice is under the
+	// members lock; its Write drains any biased iterators first.
+	old.members.Write(nil)
 	for i, x := range old.procs {
 		if x == p {
 			old.procs = append(old.procs[:i], old.procs[i+1:]...)
 			break
 		}
 	}
-	old.Unlock()
+	old.members.Done(nil)
 	p.Release(nil) // the old set's member reference to p
 
 	// Attach to the new set: both membership pointers are counted
 	// references (Section 8, inter-object pointers).
 	s.Lock()
 	s.Reference() // p's set pointer
+	s.members.Write(nil)
 	s.procs = append(s.procs, p)
+	s.members.Done(nil)
 	s.Unlock()
 	p.Lock()
 	p.set = s
@@ -172,23 +193,29 @@ func (s *ProcessorSet) AssignTask(t *Task) error {
 		return err
 	}
 	t.TakeRef()
+	// The active check and the append stay under one object-lock hold so
+	// Destroy (deactivate, then drain) cannot miss a racing assignment.
+	s.members.Write(nil)
 	s.tasks = append(s.tasks, t)
+	s.members.Done(nil)
 	return nil
 }
 
-// Processors returns a snapshot of the set's processors.
-func (s *ProcessorSet) Processors() []*Processor {
-	s.Lock()
-	defer s.Unlock()
+// Processors returns a snapshot of the set's processors. cur is the
+// iterating thread: with it, concurrent snapshots ride the members lock's
+// reader-bias fast path and never touch the set's object lock.
+func (s *ProcessorSet) Processors(cur *sched.Thread) []*Processor {
+	s.members.Read(cur)
+	defer s.members.Done(cur)
 	out := make([]*Processor, len(s.procs))
 	copy(out, s.procs)
 	return out
 }
 
 // TaskCount returns the number of assigned tasks.
-func (s *ProcessorSet) TaskCount() int {
-	s.Lock()
-	defer s.Unlock()
+func (s *ProcessorSet) TaskCount(cur *sched.Thread) int {
+	s.members.Read(cur)
+	defer s.members.Done(cur)
 	return len(s.tasks)
 }
 
@@ -209,18 +236,24 @@ func (s *ProcessorSet) Destroy() error {
 	// Migrate processors (under the host assignment lock, as any
 	// reassignment). AssignProcessor tolerates the deactivated source.
 	for {
-		s.Lock()
+		s.members.Read(nil)
 		if len(s.procs) == 0 {
-			break // keep s locked to grab the tasks below
+			s.members.Done(nil)
+			break
 		}
 		p := s.procs[0]
-		s.Unlock()
+		s.members.Done(nil)
 		if err := s.host.AssignProcessor(p, s.host.defaultSet); err != nil {
 			return err
 		}
 	}
+	// The set is deactivated, so AssignTask (which checks liveness under
+	// the object lock) can no longer add entries; grab the remainder.
+	s.Lock()
+	s.members.Write(nil)
 	tasks := s.tasks
 	s.tasks = nil
+	s.members.Done(nil)
 	s.Unlock()
 
 	// Move the tasks to the default set; release this set's references.

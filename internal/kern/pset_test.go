@@ -12,7 +12,7 @@ import (
 func TestHostDefaultSetOwnsAllProcessors(t *testing.T) {
 	m := hw.New(4)
 	h := NewHost(m)
-	if got := len(h.DefaultSet().Processors()); got != 4 {
+	if got := len(h.DefaultSet().Processors(nil)); got != 4 {
 		t.Fatalf("default set has %d processors, want 4", got)
 	}
 	for i := 0; i < 4; i++ {
@@ -38,22 +38,22 @@ func TestAssignProcessorMovesBetweenSets(t *testing.T) {
 	if p.AssignedSet() != s {
 		t.Fatal("processor not in new set")
 	}
-	if len(s.Processors()) != 1 || len(h.DefaultSet().Processors()) != 1 {
+	if len(s.Processors(nil)) != 1 || len(h.DefaultSet().Processors(nil)) != 1 {
 		t.Fatalf("membership counts wrong: %d / %d",
-			len(s.Processors()), len(h.DefaultSet().Processors()))
+			len(s.Processors(nil)), len(h.DefaultSet().Processors(nil)))
 	}
 	// No-op reassign.
 	if err := h.AssignProcessor(p, s); err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Processors()) != 1 {
+	if len(s.Processors(nil)) != 1 {
 		t.Fatal("no-op reassign duplicated membership")
 	}
 	// Move back.
 	if err := h.AssignProcessor(p, h.DefaultSet()); err != nil {
 		t.Fatal(err)
 	}
-	if len(h.DefaultSet().Processors()) != 2 {
+	if len(h.DefaultSet().Processors(nil)) != 2 {
 		t.Fatal("processor lost on the way back")
 	}
 }
@@ -89,17 +89,17 @@ func TestDestroyMigratesEverythingToDefault(t *testing.T) {
 	if err := s.AssignTask(task); err != nil {
 		t.Fatal(err)
 	}
-	if s.TaskCount() != 1 || len(s.Processors()) != 3 {
+	if s.TaskCount(nil) != 1 || len(s.Processors(nil)) != 3 {
 		t.Fatal("setup wrong")
 	}
 
 	if err := s.Destroy(); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(h.DefaultSet().Processors()); got != 4 {
+	if got := len(h.DefaultSet().Processors(nil)); got != 4 {
 		t.Fatalf("default set has %d processors after destroy, want 4", got)
 	}
-	if h.DefaultSet().TaskCount() != 1 {
+	if h.DefaultSet().TaskCount(nil) != 1 {
 		t.Fatal("task not migrated to default set")
 	}
 	for i := 0; i < 4; i++ {
@@ -152,7 +152,7 @@ func TestConcurrentReassignmentStress(t *testing.T) {
 	// Invariant: every processor in exactly one set, memberships coherent.
 	total := 0
 	for _, s := range sets {
-		for _, p := range s.Processors() {
+		for _, p := range s.Processors(nil) {
 			if p.AssignedSet() != s {
 				t.Fatalf("processor %s membership mismatch", p.Name())
 			}

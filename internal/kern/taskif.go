@@ -88,7 +88,7 @@ func TaskInterface() *mig.Interface {
 			// The name space has its own lock (the second task lock);
 			// taking it after the task lock is released keeps the two
 			// independent, as the two-lock design intends.
-			reply.PortNames = task.Space().Len()
+			reply.PortNames = task.Space().Len(ctx.Thread)
 			return reply, nil
 		})
 

@@ -30,7 +30,7 @@ func TestTaskInterfaceInfo(t *testing.T) {
 	task := NewTask("app", vm.NewPool(8))
 	task.CreateThread("w1")
 	task.CreateThread("w2")
-	task.InsertPort(ipc.NewPort("svc"))
+	task.InsertPort(nil, ipc.NewPort("svc"))
 	stop := serveTask(t, task)
 	defer stop()
 

@@ -39,14 +39,14 @@ func ns(v float64) string {
 func WriteCSV(w io.Writer, profiles []Profile) error {
 	if _, err := fmt.Fprintln(w, "pkg,name,kind,acquisitions,contended,contention_rate,"+
 		"mean_hold_ns,p99_hold_ns,max_hold_ns,mean_wait_ns,p99_wait_ns,max_wait_ns,"+
-		"upgrades,failed_upgrades,downgrades,ref_clones,ref_releases,deactivates"); err != nil {
+		"upgrades,failed_upgrades,downgrades,bias_revocations,ref_clones,ref_releases,deactivates"); err != nil {
 		return err
 	}
 	for _, p := range profiles {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%.6f,%.1f,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%.6f,%.1f,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			p.Pkg, p.Name, p.Kind, p.Acquisitions, p.Contended, p.ContentionRate,
 			p.MeanHoldNs, p.P99HoldNs, p.MaxHoldNs, p.MeanWaitNs, p.P99WaitNs, p.MaxWaitNs,
-			p.Upgrades, p.FailedUpgrades, p.Downgrades,
+			p.Upgrades, p.FailedUpgrades, p.Downgrades, p.BiasRevocations,
 			p.RefClones, p.RefReleases, p.Deactivates); err != nil {
 			return err
 		}

@@ -22,6 +22,7 @@ const (
 	OpRefClone             // reference cloned; Arg = count after
 	OpRefRelease           // reference released; Arg = count after
 	OpDeactivate           // object deactivated (active termination)
+	OpBiasRevoke           // reader bias revoked by a write request
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +46,8 @@ func (o Op) String() string {
 		return "ref-release"
 	case OpDeactivate:
 		return "deactivate"
+	case OpBiasRevoke:
+		return "bias-revoke"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}

@@ -102,6 +102,7 @@ type Class struct {
 	refClones      stats.Counter
 	refReleases    stats.Counter
 	deactivates    stats.Counter
+	biasRevokes    stats.Counter
 	hold           stats.Histogram
 	wait           stats.Histogram
 }
@@ -272,6 +273,16 @@ func (c *Class) Deactivated() {
 	emit(c.id, OpDeactivate, 0)
 }
 
+// BiasRevoked records a write request revoking a complex lock's reader
+// bias (the start of a visible-readers drain).
+func (c *Class) BiasRevoked() {
+	if !c.On() {
+		return
+	}
+	c.biasRevokes.Inc()
+	emit(c.id, OpBiasRevoke, 0)
+}
+
 // Profile is a point-in-time summary of one class's accounting.
 type Profile struct {
 	Name string
@@ -291,9 +302,10 @@ type Profile struct {
 	P99WaitNs  int64
 	MaxWaitNs  int64
 
-	Upgrades       int64
-	FailedUpgrades int64
-	Downgrades     int64
+	Upgrades        int64
+	FailedUpgrades  int64
+	Downgrades      int64
+	BiasRevocations int64
 
 	RefClones   int64
 	RefReleases int64
@@ -303,24 +315,25 @@ type Profile struct {
 // Snapshot returns the class's current profile.
 func (c *Class) Snapshot() Profile {
 	p := Profile{
-		Name:           c.name,
-		Pkg:            c.pkg,
-		Kind:           c.kind,
-		Acquisitions:   c.acquisitions.Load(),
-		Contended:      c.contended.Load(),
-		Releases:       c.releases.Load(),
-		MeanHoldNs:     c.hold.Mean(),
-		P99HoldNs:      c.hold.Quantile(0.99),
-		MaxHoldNs:      c.hold.Max(),
-		MeanWaitNs:     c.wait.Mean(),
-		P99WaitNs:      c.wait.Quantile(0.99),
-		MaxWaitNs:      c.wait.Max(),
-		Upgrades:       c.upgrades.Load(),
-		FailedUpgrades: c.failedUpgrades.Load(),
-		Downgrades:     c.downgrades.Load(),
-		RefClones:      c.refClones.Load(),
-		RefReleases:    c.refReleases.Load(),
-		Deactivates:    c.deactivates.Load(),
+		Name:            c.name,
+		Pkg:             c.pkg,
+		Kind:            c.kind,
+		Acquisitions:    c.acquisitions.Load(),
+		Contended:       c.contended.Load(),
+		Releases:        c.releases.Load(),
+		MeanHoldNs:      c.hold.Mean(),
+		P99HoldNs:       c.hold.Quantile(0.99),
+		MaxHoldNs:       c.hold.Max(),
+		MeanWaitNs:      c.wait.Mean(),
+		P99WaitNs:       c.wait.Quantile(0.99),
+		MaxWaitNs:       c.wait.Max(),
+		Upgrades:        c.upgrades.Load(),
+		FailedUpgrades:  c.failedUpgrades.Load(),
+		Downgrades:      c.downgrades.Load(),
+		BiasRevocations: c.biasRevokes.Load(),
+		RefClones:       c.refClones.Load(),
+		RefReleases:     c.refReleases.Load(),
+		Deactivates:     c.deactivates.Load(),
 	}
 	if p.Acquisitions > 0 {
 		p.ContentionRate = float64(p.Contended) / float64(p.Acquisitions)
@@ -339,6 +352,7 @@ func (c *Class) reset() {
 	c.refClones.Reset()
 	c.refReleases.Reset()
 	c.deactivates.Reset()
+	c.biasRevokes.Reset()
 	c.hold.Reset()
 	c.wait.Reset()
 }

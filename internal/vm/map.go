@@ -65,10 +65,20 @@ type Map struct {
 }
 
 // NewMap creates an empty map over the pool with one creator reference.
+// The map lock is sleepable (pager RPCs block under it), recursive (the
+// vm_map_pageable protocol re-acquires it), and reader-biased: lookups and
+// faults — the hot paths — take the lock for reading far more often than
+// allocations take it for writing, so readers publish themselves in the
+// BRAVO slot table instead of serializing on the interlock.
 func NewMap(pool *PagePool) *Map {
 	m := &Map{pool: pool}
-	m.lock.Init(true) // sleepable
-	m.lock.SetClass(classMap)
+	m.lock.InitWith(cxlock.Options{
+		Sleep:      true, // pager upcalls block under the map lock
+		Recursive:  true, // vm_map_pageable's recursive hold (Section 7.1)
+		ReaderBias: true,
+		Name:       "vm.map",
+		Class:      classMap,
+	})
 	m.refs.Init(1)
 	m.refs.SetClass(classMapRef)
 	m.refLock.SetClass(classMapRef)

@@ -1,0 +1,84 @@
+package machlock
+
+import (
+	"machlock/internal/core/cxlock"
+	"machlock/internal/trace"
+)
+
+// TraceClass is a registered observability class from the trace layer;
+// pass one to WithClass to aggregate a lock's profile with its site.
+type TraceClass = trace.Class
+
+// Locker is the exclusive side of a machlock lock: acquire for writing,
+// release. Threads identify themselves explicitly — Mach's implicit
+// current_thread() made explicit. A nil thread is legal anywhere the
+// lock's options don't require an identity (Recursive holds and the
+// reader-bias fast path do).
+type Locker interface {
+	Write(t *Thread)
+	TryWrite(t *Thread) bool
+	Done(t *Thread)
+}
+
+// RWLocker is the full readers/writer surface of a complex lock: shared
+// acquisition plus the Appendix B upgrade and downgrade operations.
+// *ComplexLock implements it.
+type RWLocker interface {
+	Locker
+	Read(t *Thread)
+	TryRead(t *Thread) bool
+	// ReadToWrite upgrades a read hold; false means the hold was lost to
+	// a competing upgrader and the caller must restart from scratch.
+	ReadToWrite(t *Thread) bool
+	TryReadToWrite(t *Thread) bool
+	WriteToRead(t *Thread)
+}
+
+var _ RWLocker = (*ComplexLock)(nil)
+
+// Option configures a lock built by NewLock. Options compose freely; the
+// zero configuration is a plain non-sleeping, non-recursive writer-priority
+// complex lock.
+type Option func(*cxlock.Options)
+
+// WithSleep enables the Sleep option: waiters block (AssertWait /
+// ThreadBlock) instead of spinning, and the lock may be held across
+// blocking operations. "Most complex locks use the sleep option."
+func WithSleep() Option { return func(o *cxlock.Options) { o.Sleep = true } }
+
+// WithRecursive permits the SetRecursive protocol (a designated holder
+// may re-enter its read hold). Locks built without it panic on
+// SetRecursive, making accidental recursion — the Section 7.1 deadlock
+// ingredient — a loud failure instead of a latent one.
+func WithRecursive() Option { return func(o *cxlock.Options) { o.Recursive = true } }
+
+// WithReaderBias enables the BRAVO-style visible-readers fast path:
+// readers that present a thread identity publish themselves in a per-lock
+// slot table with one uncontended store, bypassing the central interlock
+// entirely until a writer revokes the bias. Choose it for read-mostly
+// locks (name-space translation, map lookup, set iteration); write-heavy
+// locks only pay the revocation overhead.
+func WithReaderBias() Option { return func(o *cxlock.Options) { o.ReaderBias = true } }
+
+// WithName names the lock for debugging and deadlock reports.
+func WithName(name string) Option { return func(o *cxlock.Options) { o.Name = name } }
+
+// WithClass attaches the lock to a trace observability class; all locks
+// sharing a class aggregate into one contention-profile row.
+func WithClass(c *TraceClass) Option { return func(o *cxlock.Options) { o.Class = c } }
+
+// NewLock builds a complex lock from options:
+//
+//	l := machlock.NewLock(machlock.WithSleep(), machlock.WithReaderBias(),
+//		machlock.WithName("vm.map"))
+//
+// It supersedes NewComplexLock(canSleep), which survives as a deprecated
+// wrapper (with Recursive implied, as the old constructor allowed
+// SetRecursive unconditionally).
+func NewLock(opts ...Option) *ComplexLock {
+	var o cxlock.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return cxlock.NewWith(o)
+}

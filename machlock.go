@@ -41,6 +41,10 @@ type ComplexLock = cxlock.Lock
 
 // NewComplexLock creates a complex lock; canSleep enables the Sleep option
 // (lock_init).
+//
+// Deprecated: use NewLock with options — NewLock(WithSleep()) for
+// canSleep=true. NewComplexLock implies WithRecursive for compatibility
+// with callers that used SetRecursive.
 func NewComplexLock(canSleep bool) *ComplexLock { return cxlock.New(canSleep) }
 
 // ComplexLockStats is a snapshot of a complex lock's accounting.

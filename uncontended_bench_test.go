@@ -16,6 +16,7 @@ import (
 	"machlock/internal/core/cxlock"
 	"machlock/internal/core/object"
 	"machlock/internal/core/splock"
+	"machlock/internal/sched"
 	"machlock/internal/trace"
 	"machlock/internal/zalloc"
 )
@@ -71,6 +72,31 @@ func BenchmarkUncontendedComplexWrite(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.Write(nil)
+		l.Done(nil)
+	}
+}
+
+// BenchmarkUncontendedComplexReadBiased: the reader-bias fast path — a
+// slot publish and clear instead of the interlocked protocol. The thread
+// identity is required (nil readers take the slow path).
+func BenchmarkUncontendedComplexReadBiased(b *testing.B) {
+	l := cxlock.NewWith(cxlock.Options{ReaderBias: true})
+	self := sched.New("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Read(self)
+		l.Done(self)
+	}
+}
+
+// BenchmarkUncontendedComplexReadBiasedSlowPath: same lock, nil identity:
+// the bias is configured but this reader cannot use it, measuring the
+// fast-path check's overhead on the interlocked path.
+func BenchmarkUncontendedComplexReadBiasedSlowPath(b *testing.B) {
+	l := cxlock.NewWith(cxlock.Options{ReaderBias: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Read(nil)
 		l.Done(nil)
 	}
 }
