@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke locktrace
+.PHONY: all build vet test race bench bench-smoke locktrace lockmon mon-smoke
 
 all: vet build test
 
@@ -28,3 +28,14 @@ bench-smoke:
 
 locktrace:
 	$(GO) run ./cmd/locktrace
+
+# Run the continuous monitor with live workloads and the HTTP surface.
+lockmon:
+	$(GO) run ./cmd/lockmon
+
+# Monitor smoke test (also run in CI): starts the monitor on an ephemeral
+# port, injects the vm_map_pageable-style deadlock, probes every
+# /debug/machlock/ endpoint, and asserts the incident capture and a
+# non-empty Prometheus scrape.
+mon-smoke:
+	$(GO) run ./cmd/lockmon -smoke -threads 4 -ops 200

@@ -20,7 +20,6 @@ import (
 	"strings"
 	"time"
 
-	"machlock/internal/core/cxlock"
 	"machlock/internal/deadlock"
 	"machlock/internal/hw"
 	"machlock/internal/sched"
@@ -85,8 +84,8 @@ func pageableDemo() {
 	// Watch the locks through the wait-for-graph tracker so the stall can
 	// be shown as actual holds and waits, not just a timeout.
 	tracker := deadlock.NewTracker()
-	cxlock.SetObserver(tracker)
-	defer cxlock.SetObserver(nil)
+	tracker.Install()
+	defer tracker.Uninstall()
 
 	pool := vm.NewPool(4)
 	m := vm.NewMap(pool)

@@ -1,0 +1,125 @@
+package cxlock
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"machlock/internal/sched"
+)
+
+// countObserver tallies events; identity-distinct instances let the tests
+// verify fan-out and selective removal.
+type countObserver struct {
+	acquired, released, waiting, doneWaiting atomic.Int64
+}
+
+func (c *countObserver) Acquired(l *Lock, t *sched.Thread)    { c.acquired.Add(1) }
+func (c *countObserver) Released(l *Lock, t *sched.Thread)    { c.released.Add(1) }
+func (c *countObserver) Waiting(l *Lock, t *sched.Thread)     { c.waiting.Add(1) }
+func (c *countObserver) DoneWaiting(l *Lock, t *sched.Thread) { c.doneWaiting.Add(1) }
+
+func drainObservers(t *testing.T) {
+	t.Helper()
+	SetObserver(nil)
+	if obs := observers.Load(); obs != nil {
+		t.Fatalf("test started with observers installed: %d", len(*obs))
+	}
+}
+
+func TestAddObserverFansOut(t *testing.T) {
+	drainObservers(t)
+	a, b, c := &countObserver{}, &countObserver{}, &countObserver{}
+	AddObserver(a)
+	AddObserver(b)
+	AddObserver(c)
+	defer RemoveObserver(a)
+	defer RemoveObserver(b)
+	defer RemoveObserver(c)
+
+	l := New(false)
+	self := sched.New("fanout")
+	l.Write(self)
+	l.Done(self)
+
+	for i, o := range []*countObserver{a, b, c} {
+		if o.acquired.Load() != 1 || o.released.Load() != 1 {
+			t.Fatalf("observer %d missed events: acquired=%d released=%d",
+				i, o.acquired.Load(), o.released.Load())
+		}
+	}
+}
+
+func TestRemoveObserverIsSelective(t *testing.T) {
+	drainObservers(t)
+	a, b := &countObserver{}, &countObserver{}
+	AddObserver(a)
+	AddObserver(b)
+	defer RemoveObserver(b)
+	RemoveObserver(a)
+
+	l := New(false)
+	self := sched.New("selective")
+	l.Read(self)
+	l.Done(self)
+
+	if a.acquired.Load() != 0 {
+		t.Fatalf("removed observer still receiving events: %d", a.acquired.Load())
+	}
+	if b.acquired.Load() != 1 {
+		t.Fatalf("remaining observer lost events: %d", b.acquired.Load())
+	}
+	// Removing an observer that is not installed must be a no-op.
+	RemoveObserver(a)
+	RemoveObserver(&countObserver{})
+}
+
+func TestSetObserverLegacySlotCoexists(t *testing.T) {
+	drainObservers(t)
+	added, legacy1, legacy2 := &countObserver{}, &countObserver{}, &countObserver{}
+	AddObserver(added)
+	defer RemoveObserver(added)
+
+	SetObserver(legacy1)
+	l := New(false)
+	self := sched.New("legacy")
+	l.Write(self)
+	l.Done(self)
+	if legacy1.acquired.Load() != 1 || added.acquired.Load() != 1 {
+		t.Fatalf("fan-out with legacy slot broken: legacy=%d added=%d",
+			legacy1.acquired.Load(), added.acquired.Load())
+	}
+
+	// Replacing the legacy observer evicts only the legacy one.
+	SetObserver(legacy2)
+	l.Write(self)
+	l.Done(self)
+	if legacy1.acquired.Load() != 1 {
+		t.Fatalf("replaced legacy observer still receiving events")
+	}
+	if legacy2.acquired.Load() != 1 || added.acquired.Load() != 2 {
+		t.Fatalf("legacy replacement broke fan-out: legacy2=%d added=%d",
+			legacy2.acquired.Load(), added.acquired.Load())
+	}
+
+	// SetObserver(nil) clears the legacy slot, not the whole list.
+	SetObserver(nil)
+	l.Write(self)
+	l.Done(self)
+	if legacy2.acquired.Load() != 1 {
+		t.Fatalf("SetObserver(nil) left legacy observer installed")
+	}
+	if added.acquired.Load() != 3 {
+		t.Fatalf("SetObserver(nil) evicted an AddObserver registration")
+	}
+}
+
+func TestRemoveObserverClearsLegacySlot(t *testing.T) {
+	drainObservers(t)
+	o := &countObserver{}
+	SetObserver(o)
+	RemoveObserver(o) // removing the legacy observer directly must clear the slot
+	SetObserver(nil)  // and this must not double-remove or panic
+	if obs := observers.Load(); obs != nil {
+		t.Fatalf("observer list not empty: %d", len(*obs))
+	}
+}

@@ -50,12 +50,15 @@ type Object struct {
 
 // SetClass registers the object with the observability layer under one
 // class (typically per kernel type: "kern.task", "ipc.port"): its lock
-// traffic, reference traffic, and deactivations all aggregate there. Call
-// right after Init, before the object is shared.
+// traffic, reference traffic, and deactivations all aggregate there, and
+// the object joins the class's live census (decremented when the last
+// reference destroys it). Call right after Init, before the object is
+// shared.
 func (o *Object) SetClass(c *trace.Class) {
 	o.class = c
 	o.lock.SetClass(c)
 	o.refs.SetClass(c)
+	c.CensusInc()
 }
 
 // Init initializes the object as active with a single (creator's)
@@ -154,6 +157,7 @@ func (o *Object) Release(destroy func()) bool {
 	// Count reached zero: no pointers, no operations in progress, no way
 	// to invoke new operations. Destroy.
 	o.destroyed.Store(true)
+	o.class.CensusDec()
 	if destroy != nil {
 		destroy()
 	}

@@ -3,6 +3,8 @@ package splock
 import (
 	"fmt"
 	"sync/atomic"
+
+	"machlock/internal/trace"
 )
 
 // The paper observes that "each kernel subsystem that uses locks must
@@ -27,9 +29,15 @@ type RankTracker interface {
 	Name() string
 }
 
-// Hierarchy checks lock-ordering conventions at runtime.
+// Hierarchy checks lock-ordering conventions at runtime. Violations are
+// counted per checker (Violations/LastViolation, both safe under
+// concurrent readers — the report is published through an atomic) and
+// reported process-wide through trace.HierarchyViolation, so the counts
+// and last report surface in the Prometheus exposition, the expvar-style
+// JSON, and the continuous monitor without a pointer to this checker.
 type Hierarchy struct {
 	// Fatal makes ordering violations panic instead of being counted.
+	// Set at construction, before the checker is shared.
 	Fatal bool
 
 	violations atomic.Int64
@@ -94,6 +102,7 @@ func (h *Hierarchy) checkOrder(t RankTracker, l *OrderedLock) {
 				t.Name(), l.Name(), l.rank, held)
 			h.violations.Add(1)
 			h.lastReport.Store(msg)
+			trace.HierarchyViolation(msg)
 			if h.Fatal {
 				panic(msg)
 			}

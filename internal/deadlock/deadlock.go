@@ -4,7 +4,8 @@
 // code that contains race conditions": when a locking protocol does go
 // wrong, the detector names the cycle instead of leaving a hung machine.
 //
-// It observes lock events through cxlock.SetObserver, maintaining the
+// It observes lock events through the cxlock observer fan-out
+// (cxlock.AddObserver; see Tracker.Install), maintaining the
 // holds multiset (which threads hold which locks) and the wait map (which
 // thread waits for which lock). Detect builds the wait-for graph — an
 // edge from each waiter to every holder of its awaited lock — and reports
@@ -32,8 +33,9 @@ import (
 )
 
 // Tracker is the observer-backed state. Create with NewTracker and
-// install with cxlock.SetObserver(tracker); uninstall with
-// cxlock.SetObserver(nil).
+// install with Install (which registers it via cxlock.AddObserver, so
+// it coexists with the trace layer and the monitor); uninstall with
+// Uninstall.
 type Tracker struct {
 	mu sync.Mutex
 	// holds[lock][thread] = number of holds.

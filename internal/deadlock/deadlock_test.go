@@ -15,8 +15,8 @@ import (
 func withTracker(t *testing.T) *Tracker {
 	t.Helper()
 	tr := NewTracker()
-	cxlock.SetObserver(tr)
-	t.Cleanup(func() { cxlock.SetObserver(nil) })
+	tr.Install()
+	t.Cleanup(tr.Uninstall)
 	return tr
 }
 

@@ -17,7 +17,17 @@ import (
 	"machlock/internal/core/object"
 	"machlock/internal/ipc"
 	"machlock/internal/sched"
+	"machlock/internal/trace"
 	"machlock/internal/vm"
+)
+
+// Observability classes: all tasks aggregate under one class, all threads
+// under another, so the contention profile — and the live census the
+// monitor's leak detection watches — describes the kernel type, not one
+// instance.
+var (
+	classTask   = trace.NewClass("kern", "kern.task", trace.KindObject)
+	classThread = trace.NewClass("kern", "kern.thread", trace.KindObject)
 )
 
 // ErrTerminated is returned by operations on a terminated task or thread.
@@ -60,6 +70,7 @@ func NewTask(name string, pool *vm.PagePool) *Task {
 		vmMap: vm.NewMap(pool),
 	}
 	t.Init(name)
+	t.SetClass(classTask)
 	t.selfPort = ipc.NewPort(name + ".self")
 	t.TakeRef() // the port's kobject pointer holds a reference
 	t.selfPort.SetKObject(ipc.KindTask, t)
@@ -128,6 +139,7 @@ func (t *Task) SuspendCount() int {
 func (t *Task) CreateThread(name string) (*Thread, error) {
 	th := &Thread{sch: sched.New(name)}
 	th.Init(name)
+	th.SetClass(classThread)
 	th.selfPort = ipc.NewPort(name + ".self")
 	th.TakeRef()
 	th.selfPort.SetKObject(ipc.KindThread, th)

@@ -1,0 +1,137 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// IncidentKind classifies what tripped the watchdog.
+type IncidentKind string
+
+// The incident kinds.
+const (
+	KindDeadlock IncidentKind = "deadlock"  // stable wait-for cycle
+	KindLongHold IncidentKind = "long-hold" // a class's max hold time crossed the threshold
+	KindLongWait IncidentKind = "long-wait" // a class's max wait time crossed the threshold
+	KindRefLeak  IncidentKind = "ref-leak"  // a class's live census crossed the threshold
+)
+
+// Incident is one structured watchdog report: enough context to diagnose
+// the event after the fact without having had a debugger attached when it
+// happened — the offending class, the human-readable summary, the wait-for
+// graph, and the tail of the flight recorder at capture time.
+type Incident struct {
+	Seq     uint64       `json:"seq"`
+	Time    time.Time    `json:"time"`
+	Kind    IncidentKind `json:"kind"`
+	Class   string       `json:"class,omitempty"` // pkg/name of the offending class; empty for cross-class incidents
+	Summary string       `json:"summary"`
+	Detail  string       `json:"detail,omitempty"`
+
+	// Cycles holds the rendered wait-for cycles (deadlock incidents).
+	Cycles []string `json:"cycles,omitempty"`
+	// WaitGraphDOT is the full wait-for graph at capture time.
+	WaitGraphDOT string `json:"wait_graph_dot,omitempty"`
+	// RingTail is the flight recorder's most recent events at capture time,
+	// rendered one per line, oldest first.
+	RingTail []string `json:"ring_tail,omitempty"`
+}
+
+// String renders the incident for the text endpoint and logs.
+func (in Incident) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "#%d %s [%s]", in.Seq, in.Time.Format(time.RFC3339Nano), in.Kind)
+	if in.Class != "" {
+		fmt.Fprintf(&sb, " class=%s", in.Class)
+	}
+	fmt.Fprintf(&sb, "\n  %s\n", in.Summary)
+	for _, c := range in.Cycles {
+		fmt.Fprintf(&sb, "  cycle: %s\n", c)
+	}
+	if in.Detail != "" {
+		for _, line := range strings.Split(strings.TrimRight(in.Detail, "\n"), "\n") {
+			fmt.Fprintf(&sb, "  | %s\n", line)
+		}
+	}
+	if n := len(in.RingTail); n > 0 {
+		fmt.Fprintf(&sb, "  ring tail (%d events):\n", n)
+		for _, ev := range in.RingTail {
+			fmt.Fprintf(&sb, "    %s\n", ev)
+		}
+	}
+	return sb.String()
+}
+
+// IncidentLog is a bounded, mutex-protected incident store. Appending
+// never blocks on anything but the (short) mutex and never allocates past
+// the configured capacity: when full, the oldest incident is evicted and
+// counted in Dropped. The watchdog can therefore always file a report, no
+// matter how long the operator goes without reading them.
+type IncidentLog struct {
+	mu      sync.Mutex
+	cap     int
+	seq     uint64
+	buf     []Incident
+	dropped uint64
+}
+
+// DefaultIncidentCapacity bounds the log when Config.Incidents is zero.
+const DefaultIncidentCapacity = 64
+
+// NewIncidentLog creates a log retaining at most capacity incidents
+// (DefaultIncidentCapacity if capacity < 1).
+func NewIncidentLog(capacity int) *IncidentLog {
+	if capacity < 1 {
+		capacity = DefaultIncidentCapacity
+	}
+	return &IncidentLog{cap: capacity}
+}
+
+// Add files an incident, assigning its sequence number. The oldest
+// incident is evicted if the log is full. Returns the assigned Seq.
+func (lg *IncidentLog) Add(in Incident) uint64 {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	lg.seq++
+	in.Seq = lg.seq
+	if len(lg.buf) == lg.cap {
+		copy(lg.buf, lg.buf[1:])
+		lg.buf[len(lg.buf)-1] = in
+		lg.dropped++
+	} else {
+		lg.buf = append(lg.buf, in)
+	}
+	return in.Seq
+}
+
+// Snapshot returns the retained incidents, oldest first.
+func (lg *IncidentLog) Snapshot() []Incident {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	out := make([]Incident, len(lg.buf))
+	copy(out, lg.buf)
+	return out
+}
+
+// Len returns the number of retained incidents.
+func (lg *IncidentLog) Len() int {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return len(lg.buf)
+}
+
+// Total returns how many incidents have ever been filed.
+func (lg *IncidentLog) Total() uint64 {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return lg.seq
+}
+
+// Dropped returns how many incidents were evicted to make room.
+func (lg *IncidentLog) Dropped() uint64 {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return lg.dropped
+}

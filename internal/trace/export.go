@@ -16,7 +16,7 @@ func WriteText(w io.Writer, profiles []Profile) error {
 	tbl := stats.NewTable("lock/refcount contention profile",
 		"class", "kind", "acq", "contended", "cont%",
 		"hold-mean", "hold-p99", "wait-mean", "wait-p99", "wait-max",
-		"refs+", "refs-", "deact")
+		"refs+", "refs-", "deact", "live")
 	for _, p := range profiles {
 		tbl.AddRow(
 			p.Pkg+"/"+p.Name, p.Kind.String(),
@@ -24,10 +24,21 @@ func WriteText(w io.Writer, profiles []Profile) error {
 			fmt.Sprintf("%.2f", p.ContentionRate*100),
 			ns(p.MeanHoldNs), ns(float64(p.P99HoldNs)),
 			ns(p.MeanWaitNs), ns(float64(p.P99WaitNs)), ns(float64(p.MaxWaitNs)),
-			p.RefClones, p.RefReleases, p.Deactivates)
+			p.RefClones, p.RefReleases, p.Deactivates, p.Live)
 	}
-	_, err := tbl.WriteTo(w)
-	return err
+	if _, err := tbl.WriteTo(w); err != nil {
+		return err
+	}
+	// The process-wide hierarchy-violation state trails the table: counts
+	// alone hide the protocol error's shape, so the last report rides
+	// along.
+	if n := HierarchyViolations(); n > 0 {
+		if _, err := fmt.Fprintf(w, "hierarchy violations: %d (last: %s)\n",
+			n, LastHierarchyViolation()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ns renders a nanosecond quantity compactly as a duration.
@@ -39,15 +50,17 @@ func ns(v float64) string {
 func WriteCSV(w io.Writer, profiles []Profile) error {
 	if _, err := fmt.Fprintln(w, "pkg,name,kind,acquisitions,contended,contention_rate,"+
 		"mean_hold_ns,p99_hold_ns,max_hold_ns,mean_wait_ns,p99_wait_ns,max_wait_ns,"+
-		"upgrades,failed_upgrades,downgrades,bias_revocations,ref_clones,ref_releases,deactivates"); err != nil {
+		"upgrades,failed_upgrades,downgrades,bias_revocations,ref_clones,ref_releases,deactivates,"+
+		"p50_hold_ns,p90_hold_ns,p50_wait_ns,p90_wait_ns,live"); err != nil {
 		return err
 	}
 	for _, p := range profiles {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%.6f,%.1f,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%.6f,%.1f,%d,%d,%.1f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			p.Pkg, p.Name, p.Kind, p.Acquisitions, p.Contended, p.ContentionRate,
 			p.MeanHoldNs, p.P99HoldNs, p.MaxHoldNs, p.MeanWaitNs, p.P99WaitNs, p.MaxWaitNs,
 			p.Upgrades, p.FailedUpgrades, p.Downgrades, p.BiasRevocations,
-			p.RefClones, p.RefReleases, p.Deactivates); err != nil {
+			p.RefClones, p.RefReleases, p.Deactivates,
+			p.P50HoldNs, p.P90HoldNs, p.P50WaitNs, p.P90WaitNs, p.Live); err != nil {
 			return err
 		}
 	}
@@ -55,12 +68,19 @@ func WriteCSV(w io.Writer, profiles []Profile) error {
 }
 
 // WriteVars renders the profiles as an expvar-style JSON object keyed by
-// "pkg/name", suitable for scraping into a metrics pipeline.
+// "pkg/name", suitable for scraping into a metrics pipeline. The
+// process-wide hierarchy-violation count and last-report text are included
+// under the "splock/hierarchy!" key (the "!" keeps it clear of any real
+// class key, which never contains one).
 func WriteVars(w io.Writer, profiles []Profile) error {
-	m := make(map[string]Profile, len(profiles))
+	m := make(map[string]any, len(profiles)+1)
 	for _, p := range profiles {
 		m[p.Pkg+"/"+p.Name] = p
 	}
+	m["splock/hierarchy!"] = struct {
+		Violations    int64
+		LastViolation string
+	}{HierarchyViolations(), LastHierarchyViolation()}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(m)

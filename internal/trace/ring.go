@@ -23,6 +23,7 @@ const (
 	OpRefRelease           // reference released; Arg = count after
 	OpDeactivate           // object deactivated (active termination)
 	OpBiasRevoke           // reader bias revoked by a write request
+	OpViolation            // lock-ordering violation; Arg = running count
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +49,8 @@ func (o Op) String() string {
 		return "deactivate"
 	case OpBiasRevoke:
 		return "bias-revoke"
+	case OpViolation:
+		return "violation"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}

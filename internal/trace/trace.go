@@ -26,7 +26,7 @@
 //
 // The entire layer is gated by one atomic flag: with tracing off (the
 // default) every hook is a single atomic load and a predicted branch,
-// mirroring the cxlock.SetObserver pattern. Instrumented call sites must
+// mirroring the cxlock observer pattern. Instrumented call sites must
 // therefore consult Class.On before doing any timing work of their own.
 package trace
 
@@ -105,6 +105,14 @@ type Class struct {
 	biasRevokes    stats.Counter
 	hold           stats.Histogram
 	wait           stats.Histogram
+
+	// live is the census gauge: instances of this class currently alive
+	// (objects created and not yet destroyed, zone elements constructed).
+	// Unlike every other field it is NOT gated by the enabled flag — a
+	// gauge that misses events while tracing is off reports garbage
+	// forever after — so census updates must be rare (object lifetime, not
+	// lock operations).
+	live stats.Counter
 }
 
 // registry is the global class table. Registration is rare (package init,
@@ -283,6 +291,50 @@ func (c *Class) BiasRevoked() {
 	emit(c.id, OpBiasRevoke, 0)
 }
 
+// CensusInc records the birth of one instance of this class (an object
+// created, a zone element constructed). Always counted — the live census
+// must stay correct across Enable/Disable — so call only from lifetime
+// events, never from lock operations.
+func (c *Class) CensusInc() {
+	if c == nil {
+		return
+	}
+	c.live.Inc()
+}
+
+// CensusDec records the death of one instance (object destroyed).
+func (c *Class) CensusDec() {
+	if c == nil {
+		return
+	}
+	c.live.Add(-1)
+}
+
+// Live returns the class's census: instances currently alive.
+func (c *Class) Live() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.live.Load()
+}
+
+// HoldQuantile returns the q-th quantile of the class's hold-time samples
+// in nanoseconds (accurate to a power of two, like stats.Histogram).
+func (c *Class) HoldQuantile(q float64) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hold.Quantile(q)
+}
+
+// WaitQuantile returns the q-th quantile of the class's wait-time samples.
+func (c *Class) WaitQuantile(q float64) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.wait.Quantile(q)
+}
+
 // Profile is a point-in-time summary of one class's accounting.
 type Profile struct {
 	Name string
@@ -296,9 +348,13 @@ type Profile struct {
 	Releases       int64
 
 	MeanHoldNs float64
+	P50HoldNs  int64
+	P90HoldNs  int64
 	P99HoldNs  int64
 	MaxHoldNs  int64
 	MeanWaitNs float64
+	P50WaitNs  int64
+	P90WaitNs  int64
 	P99WaitNs  int64
 	MaxWaitNs  int64
 
@@ -310,6 +366,9 @@ type Profile struct {
 	RefClones   int64
 	RefReleases int64
 	Deactivates int64
+
+	// Live is the census gauge: instances of this class currently alive.
+	Live int64
 }
 
 // Snapshot returns the class's current profile.
@@ -322,9 +381,13 @@ func (c *Class) Snapshot() Profile {
 		Contended:       c.contended.Load(),
 		Releases:        c.releases.Load(),
 		MeanHoldNs:      c.hold.Mean(),
+		P50HoldNs:       c.hold.Quantile(0.50),
+		P90HoldNs:       c.hold.Quantile(0.90),
 		P99HoldNs:       c.hold.Quantile(0.99),
 		MaxHoldNs:       c.hold.Max(),
 		MeanWaitNs:      c.wait.Mean(),
+		P50WaitNs:       c.wait.Quantile(0.50),
+		P90WaitNs:       c.wait.Quantile(0.90),
 		P99WaitNs:       c.wait.Quantile(0.99),
 		MaxWaitNs:       c.wait.Max(),
 		Upgrades:        c.upgrades.Load(),
@@ -334,6 +397,7 @@ func (c *Class) Snapshot() Profile {
 		RefClones:       c.refClones.Load(),
 		RefReleases:     c.refReleases.Load(),
 		Deactivates:     c.deactivates.Load(),
+		Live:            c.live.Load(),
 	}
 	if p.Acquisitions > 0 {
 		p.ContentionRate = float64(p.Contended) / float64(p.Acquisitions)

@@ -82,6 +82,7 @@ func NewMap(pool *PagePool) *Map {
 	m.refs.Init(1)
 	m.refs.SetClass(classMapRef)
 	m.refLock.SetClass(classMapRef)
+	classMapRef.CensusInc() // maps passively vanish; census out in Release
 	return m
 }
 
@@ -110,6 +111,7 @@ func (m *Map) Release(t *sched.Thread) {
 	if !last {
 		return
 	}
+	classMapRef.CensusDec()
 	m.lock.Write(t)
 	entries := m.entries
 	m.entries = nil

@@ -31,8 +31,9 @@ var ErrZoneExhausted = errors.New("zalloc: zone exhausted")
 // elements are produced by the constructor up to the capacity; freed
 // elements are recycled LIFO (cache-warm first), as zone allocators do.
 type Zone[T any] struct {
-	name string
-	lock splock.Lock
+	name  string
+	lock  splock.Lock
+	class *trace.Class
 
 	free     []*T
 	made     int
@@ -57,7 +58,8 @@ func NewZone[T any](name string, capacity int, construct func() *T) *Zone[T] {
 	z := &Zone[T]{name: name, capacity: capacity, construct: construct}
 	// One class per zone name: zones of the same name (across restarts or
 	// generic instantiations) share a profile entry, as kernel zones do.
-	z.lock.SetClass(trace.NewClass("zalloc", "zone."+name, trace.KindSpin))
+	z.class = trace.NewClass("zalloc", "zone."+name, trace.KindSpin)
+	z.lock.SetClass(z.class)
 	return z
 }
 
@@ -109,6 +111,11 @@ func (z *Zone[T]) grabLocked() (*T, bool) {
 	}
 	if z.made < z.capacity {
 		z.made++
+		// Census: zone elements are constructed once and recycled forever
+		// (kernel zones never shrink), so construction is the lifetime
+		// event — cheap enough to count unconditionally, unlike the
+		// per-operation alloc/free traffic.
+		z.class.CensusInc()
 		return z.construct(), true
 	}
 	return nil, false
