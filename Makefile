@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke locktrace lockmon mon-smoke
+.PHONY: all build vet machvet test race bench bench-smoke locktrace lockmon mon-smoke
 
 all: vet build test
 
 build:
 	$(GO) build ./...
 
+# Standard go vet plus machvet, the repo's own locking-discipline checker
+# (internal/analysis): holdblock, lockorder, unlockpath, refdiscipline,
+# deprecated. Findings fail the build.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/machvet ./...
+
+machvet:
+	$(GO) run ./cmd/machvet ./...
 
 test:
 	$(GO) test ./...

@@ -148,7 +148,7 @@ func BenchmarkAblationObjectDiscipline(b *testing.B) {
 // hooks).
 func BenchmarkAblationRecursiveHolderCheck(b *testing.B) {
 	b.Run("with-identity", func(b *testing.B) {
-		l := cxlock.New(false)
+		l := cxlock.NewWith(cxlock.Options{})
 		th := sched.New("t")
 		for i := 0; i < b.N; i++ {
 			l.Read(th)
@@ -156,7 +156,7 @@ func BenchmarkAblationRecursiveHolderCheck(b *testing.B) {
 		}
 	})
 	b.Run("anonymous", func(b *testing.B) {
-		l := cxlock.New(false)
+		l := cxlock.NewWith(cxlock.Options{})
 		for i := 0; i < b.N; i++ {
 			l.Read(nil)
 			l.Done(nil)

@@ -86,7 +86,7 @@ func BenchmarkE2Granularity(b *testing.B) {
 // BenchmarkE3WriterPriority: writer acquisition latency through a flood of
 // readers on the writer-priority complex lock.
 func BenchmarkE3WriterPriority(b *testing.B) {
-	l := cxlock.New(true)
+	l := cxlock.NewWith(cxlock.Options{Sleep: true})
 	stop := make(chan struct{})
 	var readers []*sched.Thread
 	for i := 0; i < 3; i++ {
@@ -119,7 +119,7 @@ func BenchmarkE3WriterPriority(b *testing.B) {
 // write+downgrade, 2 contending threads.
 func BenchmarkE4Upgrade(b *testing.B) {
 	b.Run("read+upgrade", func(b *testing.B) {
-		l := cxlock.New(true)
+		l := cxlock.NewWith(cxlock.Options{Sleep: true})
 		var restarts atomic.Int64
 		b.RunParallel(func(pb *testing.PB) {
 			self := sched.New("u")
@@ -138,7 +138,7 @@ func BenchmarkE4Upgrade(b *testing.B) {
 		b.ReportMetric(float64(restarts.Load()), "restarts")
 	})
 	b.Run("write+downgrade", func(b *testing.B) {
-		l := cxlock.New(true)
+		l := cxlock.NewWith(cxlock.Options{Sleep: true})
 		b.RunParallel(func(pb *testing.PB) {
 			self := sched.New("d")
 			for pb.Next() {
@@ -158,7 +158,7 @@ func BenchmarkE5SpinVsSleep(b *testing.B) {
 		sleepable bool
 	}{{"spin", false}, {"sleep", true}} {
 		b.Run(tc.name, func(b *testing.B) {
-			l := cxlock.New(tc.sleepable)
+			l := cxlock.NewWith(cxlock.Options{Sleep: tc.sleepable})
 			b.RunParallel(func(pb *testing.PB) {
 				self := sched.New("w")
 				for pb.Next() {

@@ -1,0 +1,66 @@
+// Command machvet statically enforces the locking and reference-counting
+// discipline this repository implements from "Locking and Reference
+// Counting in the Mach Kernel". It is a multichecker in the style of go
+// vet: it loads every package named by its patterns (default ./..., from
+// the module root), runs five passes over each, and exits non-zero if any
+// diagnostic survives.
+//
+// The passes, and the paper rule each one encodes:
+//
+//	holdblock      Simple (spin) locks are never held across an operation
+//	               that can block: complex-lock acquisition, reference
+//	               release (the last reference runs a destructor),
+//	               scheduler waits, channel operations, and calls that
+//	               transitively block. Call-graph may-block summaries flow
+//	               between packages as facts, including "release-before-
+//	               block" sets so protocols that drop a caller-visible
+//	               lock before parking (cxlock's wait(), the
+//	               sched.ThreadSleep unlock-closure idiom) don't flag.
+//
+//	lockorder      Locks are acquired in a single global order. Declared
+//	               splock.Hierarchy ranks are checked exactly like the
+//	               runtime checker, and every nested acquisition records a
+//	               directed edge between lock classes; an inversion of an
+//	               edge seen anywhere else reports both sites. TryLock and
+//	               splock.LockPair are exempt: they are the paper's
+//	               sanctioned escapes (backout protocol, address-ordered
+//	               same-class pairs).
+//
+//	unlockpath     Every acquisition reaches a release on every return
+//	               path, unless annotated //machlock:holds (wrappers and
+//	               lock-handoff protocols). Also reports malformed
+//	               machlock:/machvet: annotations, which would otherwise
+//	               fail open.
+//
+//	refdiscipline  Deactivatable objects (types embedding object.Object)
+//	               need a reference to be (re)locked, and values loaded
+//	               from them before an unlock/relock window are stale
+//	               after it.
+//
+//	deprecated     Superseded constructors and mutators (NewComplexLock,
+//	               cxlock.New/Init/SetSleepable, cxlock.SetObserver), with
+//	               the replacement named in the diagnostic.
+//
+// # Suppressions
+//
+// A finding that documents intentional protocol is suppressed in place:
+//
+//	//machvet:allow holdblock — refcount under own lock is the object protocol
+//	o.refs.Release()
+//
+// The annotation names one or more passes and covers its own line (as a
+// trailing comment) or the line below (as a whole-line comment). A lock
+// acquisition whose hold intentionally escapes the function is annotated
+// //machlock:holds, which unlockpath honors. Unknown pass names or verbs
+// are themselves reported — a typo'd suppression never fails open.
+//
+// # Caching
+//
+// machvet has no fact files on disk: analyzer facts (may-block summaries,
+// lock-order edges) live in memory for one run, recomputed each time.
+// What *is* cached is everything expensive underneath: packages are
+// listed with `go list -export`, so dependency type information comes
+// from the go build cache's export data, and only the packages under
+// analysis are type-checked from source. A warm run over this repository
+// takes well under a second; there is no cache to invalidate or clean.
+package main

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"machlock/internal/analysis/framework"
+	"machlock/internal/analysis/passes"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the passes and exit")
+	only := flag.String("passes", "", "comma-separated subset of passes to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: machvet [-list] [-passes p1,p2] [packages]\n\n"+
+			"machvet checks the repository's locking discipline; see cmd/machvet/doc.go.\n"+
+			"Package patterns default to ./... and resolve from the module root.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := passes.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*framework.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fatalf("machvet: unknown pass %q (try -list)", name)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatalf("machvet: %v", err)
+	}
+	root, err := framework.ModuleRoot(wd)
+	if err != nil {
+		fatalf("machvet: %v", err)
+	}
+	ld, err := framework.NewLoader(root, patterns...)
+	if err != nil {
+		fatalf("machvet: %v", err)
+	}
+
+	// One fact store for the whole run; Roots() is in dependency order, so
+	// every pass sees its dependencies' facts (holdblock's may-block
+	// summaries, lockorder's edge sets) before it needs them.
+	facts := framework.NewFactStore()
+	exit := 0
+	for _, path := range ld.Roots() {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			fatalf("machvet: %v", err)
+		}
+		diags, err := framework.RunAnalyzers(pkg, suite, facts)
+		if err != nil {
+			fatalf("machvet: %v", err)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,164 @@
+// Package analysistest is the golden-test harness for machvet passes,
+// mirroring golang.org/x/tools/go/analysis/analysistest: testdata packages
+// carry `// want "regexp"` comments on the lines where diagnostics are
+// expected, and the harness fails the test for every unmatched expectation
+// and every unexpected diagnostic.
+//
+// Testdata packages live under internal/analysis/testdata/src/<name> and
+// may import any machlock package (the harness loads the whole module's
+// export data once per test binary).
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"machlock/internal/analysis/framework"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *framework.Loader
+	loaderErr  error
+)
+
+// sharedLoader loads export data for the whole module once per process;
+// individual testdata packages type-check against it in milliseconds.
+func sharedLoader() (*framework.Loader, error) {
+	loaderOnce.Do(func() {
+		wd, err := os.Getwd()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		root, err := framework.ModuleRoot(wd)
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = framework.NewLoader(root, "machlock/...")
+	})
+	return loader, loaderErr
+}
+
+// TestData returns the shared testdata root, internal/analysis/testdata.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := framework.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(root, "internal", "analysis", "testdata")
+}
+
+// Run analyzes each named testdata package (a directory under
+// testdata/src) with the analyzer and checks its diagnostics against the
+// package's want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	for _, name := range pkgs {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(testdata, "src", name)
+			pkg, err := ld.LoadDir(dir, "machvet.test/"+name)
+			if err != nil {
+				t.Fatalf("loading %s: %v", dir, err)
+			}
+			diags, err := framework.RunAnalyzers(pkg, []*framework.Analyzer{a}, framework.NewFactStore())
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, pkg, diags)
+		})
+	}
+}
+
+// expectation is one want regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	text string
+	met  bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Patterns may be double-quoted (escapes apply) or backquoted (raw), as in
+// x/tools analysistest; strconv.Unquote handles both.
+var quotedRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func check(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					text, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+						continue
+					}
+					rx, err := regexp.Compile(text)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, text, err)
+						continue
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, rx: rx, text: text,
+					})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !matchWant(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.met && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// Fprint is a debugging helper: print diagnostics the way machvet would.
+func Fprint(pkg *framework.Package, diags []framework.Diagnostic) string {
+	s := ""
+	for _, d := range diags {
+		s += fmt.Sprintf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+	}
+	return s
+}

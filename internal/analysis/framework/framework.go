@@ -1,0 +1,212 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver surface, sized for this repository.
+//
+// The machvet checkers (internal/analysis/passes/...) are written against
+// the same Analyzer/Pass/Diagnostic shape as real go/analysis passes so
+// they could be ported to the upstream framework mechanically; the
+// framework exists because this module is built offline and cannot vendor
+// x/tools. Three deliberate simplifications versus upstream:
+//
+//   - Facts are package-level only, keyed by (analyzer, import path), and
+//     live in an in-memory FactStore owned by the driver for one run; the
+//     driver analyzes packages in dependency order so importers always see
+//     their dependencies' facts.
+//   - Suppression is centralized: a diagnostic whose position carries a
+//     `//machvet:allow <pass>` annotation (same line, or the line below a
+//     whole-line annotation comment) is dropped by Pass.Reportf itself, so
+//     every pass gets the escape hatch for free.
+//   - There is no Requires DAG; the five passes are independent.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in //machvet:allow
+	// annotations. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by `machvet -list`.
+	Doc string
+	// Run executes the pass over one package. The returned value is
+	// currently unused (kept for upstream shape compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding, mirroring analysis.Diagnostic.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Pass carries one analyzer's view of one type-checked package, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package's import path. Facts are keyed by it, so it
+	// stays meaningful across separately type-checked units (the same
+	// dependency package re-imported from export data compares unequal as
+	// a *types.Package but equal by path).
+	PkgPath string
+
+	diags *[]Diagnostic
+	facts *FactStore
+
+	allowOnce sync.Once
+	allow     map[string]map[int]map[string]bool // filename -> line -> pass names
+	holds     map[string]map[int]bool            // filename -> line -> //machlock:holds
+}
+
+// Reportf records a diagnostic at pos unless a //machvet:allow annotation
+// for this pass covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(p.Analyzer.Name, pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer,
+	})
+}
+
+// Allowed reports whether a //machvet:allow annotation for the named pass
+// covers pos (trailing comment on the same line, or a whole-line comment
+// directly above).
+func (p *Pass) Allowed(pass string, pos token.Pos) bool {
+	p.buildAnnotationIndex()
+	position := p.Fset.Position(pos)
+	lines, ok := p.allow[position.Filename]
+	if !ok {
+		return false
+	}
+	return lines[position.Line][pass]
+}
+
+// HoldsAt reports whether a //machlock:holds annotation covers pos: the
+// acquisition at pos intentionally escapes the acquiring function still
+// held (lock wrappers, lock-handoff protocols).
+func (p *Pass) HoldsAt(pos token.Pos) bool {
+	p.buildAnnotationIndex()
+	position := p.Fset.Position(pos)
+	return p.holds[position.Filename][position.Line]
+}
+
+func (p *Pass) buildAnnotationIndex() {
+	p.allowOnce.Do(func() {
+		p.allow = map[string]map[int]map[string]bool{}
+		p.holds = map[string]map[int]bool{}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					ann, ok := ParseAnnotation(c.Text)
+					if !ok || ann.Bogus != "" {
+						continue
+					}
+					endLine := p.Fset.Position(c.End()).Line
+					fname := p.Fset.Position(c.Pos()).Filename
+					// The annotation covers its own line and the next:
+					// trailing comments annotate their statement, and
+					// whole-line comments annotate the line below.
+					for _, line := range []int{endLine, endLine + 1} {
+						if ann.Holds {
+							m := p.holds[fname]
+							if m == nil {
+								m = map[int]bool{}
+								p.holds[fname] = m
+							}
+							m[line] = true
+						}
+						for _, name := range ann.Allow {
+							m := p.allow[fname]
+							if m == nil {
+								m = map[int]map[string]bool{}
+								p.allow[fname] = m
+							}
+							if m[line] == nil {
+								m[line] = map[string]bool{}
+							}
+							m[line][name] = true
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// FactStore holds package-level facts for one driver run, keyed by
+// (analyzer, package import path).
+type FactStore struct {
+	mu sync.Mutex
+	m  map[factKey]any
+}
+
+type factKey struct{ analyzer, pkg string }
+
+// NewFactStore creates an empty fact store.
+func NewFactStore() *FactStore { return &FactStore{m: map[factKey]any{}} }
+
+// ExportPackageFact publishes v as this analyzer's fact for the package
+// under analysis, replacing any previous value.
+func (p *Pass) ExportPackageFact(v any) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.mu.Lock()
+	defer p.facts.mu.Unlock()
+	p.facts.m[factKey{p.Analyzer.Name, p.PkgPath}] = v
+}
+
+// ImportPackageFact returns the fact this analyzer exported for the
+// package with the given import path, if the driver has analyzed it.
+func (p *Pass) ImportPackageFact(pkgPath string) (any, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	p.facts.mu.Lock()
+	defer p.facts.mu.Unlock()
+	v, ok := p.facts.m[factKey{p.Analyzer.Name, pkgPath}]
+	return v, ok
+}
+
+// RunAnalyzers executes the analyzers, in order, over one loaded package,
+// returning position-sorted diagnostics. facts may be nil for a one-shot
+// run without cross-package state.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			PkgPath:   pkg.ImportPath,
+			diags:     &diags,
+			facts:     facts,
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].Pos, diags[j].Pos
+		if pi != pj {
+			return pi < pj
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,203 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader is a `go list -export` driver, the same strategy go vet's
+// unitchecker uses: target packages are parsed and type-checked from
+// source, while every dependency (std and in-module alike) is imported
+// from the compiler's export data, which `go list -export` materializes
+// out of the build cache. This keeps the loader fast, offline, and free
+// of any dependency on x/tools' go/packages.
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Loader loads packages named by `go list` patterns, plus ad-hoc source
+// directories (testdata packages), against one shared file set and
+// importer so dependency type identities are consistent.
+type Loader struct {
+	ModuleRoot string
+	Fset       *token.FileSet
+
+	list  map[string]*listedPackage
+	order []string // go list output order: dependencies before dependents
+	imp   types.Importer
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// NewLoader runs `go list -export -deps` over the patterns (resolved
+// relative to moduleRoot) and prepares an importer over the resulting
+// export data.
+func NewLoader(moduleRoot string, patterns ...string) (*Loader, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Name,GoFiles,Imports,DepOnly,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	ld := &Loader{
+		ModuleRoot: moduleRoot,
+		Fset:       token.NewFileSet(),
+		list:       map[string]*listedPackage{},
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		q := p
+		ld.list[p.ImportPath] = &q
+		ld.order = append(ld.order, p.ImportPath)
+	}
+	ld.imp = importer.ForCompiler(ld.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		p, ok := ld.list[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	})
+	return ld, nil
+}
+
+// Roots returns the import paths the patterns named directly (not mere
+// dependencies), in dependency order: `go list -deps` emits a package
+// only after all of its dependencies, which is exactly the order the
+// driver needs for package facts to flow importers-first.
+func (ld *Loader) Roots() []string {
+	var roots []string
+	for _, path := range ld.order {
+		if p := ld.list[path]; !p.DepOnly && !p.Standard {
+			roots = append(roots, path)
+		}
+	}
+	return roots
+}
+
+// Load parses and type-checks one listed package from source.
+func (ld *Loader) Load(importPath string) (*Package, error) {
+	p, ok := ld.list[importPath]
+	if !ok {
+		return nil, fmt.Errorf("package %q not in the loaded package set", importPath)
+	}
+	var files []string
+	for _, f := range p.GoFiles {
+		files = append(files, filepath.Join(p.Dir, f))
+	}
+	return ld.check(importPath, p.Dir, files)
+}
+
+// LoadDir parses and type-checks an unlisted source directory (a testdata
+// package) under a synthetic import path. All non-test .go files in the
+// directory are included; imports resolve against the loader's package
+// set, so a testdata package may import anything the listed patterns
+// cover.
+func (ld *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return ld.check(importPath, dir, files)
+}
+
+func (ld *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(ld.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld.imp}
+	pkg, err := conf.Check(importPath, ld.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       ld.Fset,
+		Files:      files,
+		Types:      pkg,
+		TypesInfo:  info,
+	}, nil
+}

@@ -1,0 +1,270 @@
+package lockstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Function may-block summaries.
+//
+// The holdblock pass must understand that cxlock.Lock.Write may sleep
+// even though its body only calls unexported helpers, and — just as
+// important — that cxlock's wait() RELEASES l.interlock before parking
+// the thread, so a caller that holds that very interlock at the call is
+// following the protocol, not violating it. Summaries capture both: a
+// MayBlock bit propagated through the call graph, and the set of
+// receiver/parameter-rooted lock keys the function releases before its
+// first blocking point ("release-before-block"). Keys are stored with
+// placeholders ("<recv>.interlock", "<param:2>") and translated to the
+// caller's expressions at each call site.
+
+// FuncSummary is the exported, per-function may-block fact.
+type FuncSummary struct {
+	MayBlock bool
+	// BlockDesc names the first blocking thing, for diagnostics.
+	BlockDesc string
+	// ReleasedFirst lists placeholder-rooted lock keys released before
+	// the first blocking point: "<recv>", "<recv>.field", "<param:i>",
+	// "<param:i>.field".
+	ReleasedFirst []string
+}
+
+// SummaryFact is an analyzer package fact: summaries for a package's
+// declared functions, keyed by FuncID.
+type SummaryFact map[string]FuncSummary
+
+const (
+	evRelease = iota
+	evBlock
+	evCall
+)
+
+type event struct {
+	kind int
+	key  string      // evRelease: lock key in the function's own frame
+	fn   *types.Func // evCall
+	desc string      // evBlock
+}
+
+type funcInfo struct {
+	fn       *types.Func
+	recvName string
+	params   []string
+	events   []event
+	sum      FuncSummary
+}
+
+// Summaries holds the per-package summary table plus access to imported
+// facts, and answers may-block queries at call sites.
+type Summaries struct {
+	pkg      *types.Package
+	byFunc   map[*types.Func]*funcInfo
+	imported func(pkgPath string) (SummaryFact, bool)
+}
+
+// ComputeSummaries builds may-block summaries for every function declared
+// in the package. imported fetches the SummaryFact of a dependency
+// package (may be nil). The returned SummaryFact is what the pass should
+// export for downstream packages.
+func ComputeSummaries(info *types.Info, files []*ast.File, pkg *types.Package, imported func(string) (SummaryFact, bool)) (*Summaries, SummaryFact) {
+	s := &Summaries{pkg: pkg, byFunc: map[*types.Func]*funcInfo{}, imported: imported}
+
+	// Phase 1: per-function event streams (releases, direct blocks, calls).
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			fi := &funcInfo{fn: fn}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				fi.recvName = fd.Recv.List[0].Names[0].Name
+			}
+			if fd.Type.Params != nil {
+				for _, field := range fd.Type.Params.List {
+					for _, name := range field.Names {
+						fi.params = append(fi.params, name.Name)
+					}
+				}
+			}
+			w := &Walker{
+				Info: info,
+				Hooks: Hooks{
+					Release: func(op Op) {
+						fi.events = append(fi.events, event{kind: evRelease, key: op.Key})
+					},
+					Blocking: func(n ast.Node, desc string, held []Held) {
+						fi.events = append(fi.events, event{kind: evBlock, desc: desc})
+					},
+					Call: func(call *ast.CallExpr) {
+						if callee, _ := CalleeFunc(info, call); callee != nil {
+							fi.events = append(fi.events, event{kind: evCall, fn: callee})
+						}
+					},
+				},
+			}
+			w.WalkFunc(fd.Body)
+			s.byFunc[fn] = fi
+		}
+	}
+
+	// Phase 2: fixpoint MayBlock propagation over intra-package calls.
+	// Cross-package callees resolve against already-exported facts (the
+	// driver analyzes dependencies first).
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range s.byFunc {
+			if fi.sum.MayBlock {
+				continue
+			}
+			for _, ev := range fi.events {
+				if s.eventBlocks(ev) {
+					fi.sum.MayBlock = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 3: for blocking functions, collect releases that precede the
+	// first blocking event and are rooted at the receiver or a parameter.
+	for _, fi := range s.byFunc {
+		if !fi.sum.MayBlock {
+			continue
+		}
+		for _, ev := range fi.events {
+			if s.eventBlocks(ev) {
+				switch ev.kind {
+				case evBlock:
+					fi.sum.BlockDesc = ev.desc
+				case evCall:
+					fi.sum.BlockDesc = "calls " + FuncID(ev.fn) + ", which may block"
+				}
+				break
+			}
+			if ev.kind == evRelease {
+				if ph := fi.placeholder(ev.key); ph != "" {
+					fi.sum.ReleasedFirst = append(fi.sum.ReleasedFirst, ph)
+				}
+			}
+		}
+	}
+
+	fact := SummaryFact{}
+	for fn, fi := range s.byFunc {
+		if fi.sum.MayBlock {
+			fact[FuncID(fn)] = fi.sum
+		}
+	}
+	return s, fact
+}
+
+func (s *Summaries) eventBlocks(ev event) bool {
+	switch ev.kind {
+	case evBlock:
+		return true
+	case evCall:
+		sum, ok := s.lookup(ev.fn)
+		return ok && sum.MayBlock
+	}
+	return false
+}
+
+// lookup finds a callee's summary: same package directly, other packages
+// via imported facts.
+func (s *Summaries) lookup(fn *types.Func) (FuncSummary, bool) {
+	if fi, ok := s.byFunc[fn]; ok {
+		return fi.sum, true
+	}
+	if fn.Pkg() == nil || trustedLeafPkgs[fn.Pkg().Path()] {
+		return FuncSummary{}, false
+	}
+	if fn.Pkg() == s.pkg || s.imported == nil {
+		return FuncSummary{}, false
+	}
+	fact, ok := s.imported(fn.Pkg().Path())
+	if !ok {
+		return FuncSummary{}, false
+	}
+	sum, ok := fact[FuncID(fn)]
+	return sum, ok
+}
+
+// placeholder rewrites a release key in the function's own frame to its
+// placeholder form, or "" when the key is not receiver/parameter rooted
+// (locals can't be named by callers anyway).
+func (fi *funcInfo) placeholder(key string) string {
+	root, rest, _ := strings.Cut(key, ".")
+	if rest != "" {
+		rest = "." + rest
+	}
+	if fi.recvName != "" && root == fi.recvName {
+		return "<recv>" + rest
+	}
+	for i, p := range fi.params {
+		if p == root {
+			return "<param:" + strconv.Itoa(i) + ">" + rest
+		}
+	}
+	return ""
+}
+
+// CallBlocks reports whether a call may block per the summaries, with a
+// description and the lock keys — translated into the caller's frame —
+// that the callee releases before blocking. Use as a Walker.IsBlocking
+// (dropping the released list) and again inside the Blocking hook to
+// exempt released-before-block locks.
+func (s *Summaries) CallBlocks(info *types.Info, call *ast.CallExpr) (desc string, released []string, ok bool) {
+	fn, recv := CalleeFunc(info, call)
+	if fn == nil {
+		return "", nil, false
+	}
+	sum, found := s.lookup(fn)
+	if !found || !sum.MayBlock {
+		return "", nil, false
+	}
+	for _, ph := range sum.ReleasedFirst {
+		if k := translateKey(ph, recv, call); k != "" {
+			released = append(released, k)
+		}
+	}
+	d := sum.BlockDesc
+	if d == "" {
+		d = "may block"
+	}
+	return "call to " + FuncID(fn) + " (" + d + ")", released, true
+}
+
+// translateKey substitutes a placeholder root with the call-site
+// expression for the receiver or argument.
+func translateKey(ph string, recv ast.Expr, call *ast.CallExpr) string {
+	root, rest, _ := strings.Cut(ph, ".")
+	if rest != "" {
+		rest = "." + rest
+	}
+	if root == "<recv>" {
+		if recv == nil {
+			return ""
+		}
+		return ExprKey(recv) + rest
+	}
+	if strings.HasPrefix(root, "<param:") {
+		n := strings.TrimSuffix(strings.TrimPrefix(root, "<param:"), ">")
+		i, err := strconv.Atoi(n)
+		if err != nil || i < 0 || i >= len(call.Args) {
+			return ""
+		}
+		return ExprKey(call.Args[i]) + rest
+	}
+	return ""
+}
+
+var _ = token.NoPos

@@ -1,0 +1,607 @@
+package lockstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Held is one live acquisition on the walker's current path.
+type Held struct {
+	Op  Op
+	Pos token.Pos // the acquiring call
+}
+
+// Hooks are the walker's callbacks. Every field may be nil. Each AST node
+// is visited at most once per WalkFunc, so hooks never see the same
+// (node, event) pair twice; held slices passed to hooks are copies.
+type Hooks struct {
+	// Acquire fires before op is added to the held set; held is the set
+	// at that moment (for ordering checks).
+	Acquire func(op Op, held []Held)
+	// Release fires for every release, even of a lock this function never
+	// acquired (lock-handoff callees unlock their caller's hold).
+	Release func(op Op)
+	// RefTake fires for reference-taking operations.
+	RefTake func(op Op)
+	// Blocking fires at a blocking operation with the locks then held.
+	// n is the *ast.CallExpr for calls, or the channel/select/range
+	// statement for channel operations.
+	Blocking func(n ast.Node, desc string, held []Held)
+	// Call fires for calls that are not part of the locking vocabulary
+	// (used to build may-block call summaries).
+	Call func(call *ast.CallExpr)
+	// Exit fires at each return and at an implicit fall-off-the-end exit,
+	// with the held set minus deferred releases.
+	Exit func(pos token.Pos, held []Held)
+	// Goto fires when the function contains a goto; the walk is abandoned
+	// (the structured walker cannot model arbitrary jumps).
+	Goto func(pos token.Pos)
+}
+
+// Walker runs a structured, branch-aware traversal of one function body,
+// tracking held locks. It understands the repository's idioms:
+//
+//   - if l.TryLock() { ... } / if !l.TryLock() { return } branch modeling,
+//     including try results bound to a variable and tested later;
+//   - for !l.TryLock() {} spin-acquire loops;
+//   - if l.ReadToWrite() { ... }: true means the hold was dropped;
+//   - defer l.Unlock() (and defer func(){ l.Unlock() }()) canceling the
+//     hold at exits while the lock stays held for intervening code;
+//   - sched.ThreadSleep(t, ev, func(){ l.Unlock() }): closure arguments
+//     release their locks before the callee blocks;
+//   - select without default, channel send/receive, and range over a
+//     channel as blocking points.
+type Walker struct {
+	Info *types.Info
+	// IsBlocking extends the built-in blocking tables (callee summaries).
+	IsBlocking func(call *ast.CallExpr) (desc string, ok bool)
+	Hooks      Hooks
+
+	aborted      bool
+	tryBind      map[types.Object]Op
+	suppressChan bool
+}
+
+type wstate struct {
+	held []Held
+	// deferred keys are released at function exit; shared function-wide
+	// (a defer registered on any path guards every later exit).
+	deferred   map[string]bool
+	terminated bool
+}
+
+func (s *wstate) clone() *wstate {
+	return &wstate{held: append([]Held(nil), s.held...), deferred: s.deferred}
+}
+
+func merge(dst *wstate, branches ...*wstate) {
+	var alive []*wstate
+	for _, b := range branches {
+		if b != nil && !b.terminated {
+			alive = append(alive, b)
+		}
+	}
+	if len(alive) == 0 {
+		dst.terminated = true
+		return
+	}
+	// Union: a lock held on any surviving branch is treated as held after
+	// the join (conservative for holdblock/lockorder; unlockpath checks
+	// exits, which happen before joins collapse anything). Dedup is by
+	// lock key, not acquisition site: a loop that releases and reacquires
+	// the same lock (the AssertWait/relock pattern) holds it once, not
+	// once per acquisition site, so a single later Unlock clears it.
+	seen := map[string]bool{}
+	var out []Held
+	for _, b := range alive {
+		for _, h := range b.held {
+			if !seen[h.Op.Key] {
+				seen[h.Op.Key] = true
+				out = append(out, h)
+			}
+		}
+	}
+	dst.held = out
+	dst.terminated = false
+}
+
+func effectiveHeld(st *wstate) []Held {
+	var out []Held
+	for _, h := range st.held {
+		if !st.deferred[h.Op.Key] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// WalkFunc traverses body. It returns false when the walk was abandoned
+// (goto), in which case no Exit hook fired for remaining paths.
+func (w *Walker) WalkFunc(body *ast.BlockStmt) bool {
+	w.aborted = false
+	w.suppressChan = false
+	w.tryBind = map[types.Object]Op{}
+	st := &wstate{deferred: map[string]bool{}}
+	w.stmt(body, st)
+	if !w.aborted && !st.terminated && w.Hooks.Exit != nil {
+		w.Hooks.Exit(body.Rbrace, effectiveHeld(st))
+	}
+	return !w.aborted
+}
+
+func (w *Walker) blockingAt(n ast.Node, desc string, st *wstate) {
+	if w.Hooks.Blocking != nil {
+		w.Hooks.Blocking(n, desc, append([]Held(nil), st.held...))
+	}
+}
+
+func blockDesc(op Op) string {
+	target := op.FuncName
+	if op.Key != "" {
+		target = op.Key + "." + op.FuncName
+	}
+	if op.Kind == OpRefRelease {
+		return "call to " + target + " (dropping the last reference destroys the object, which may block)"
+	}
+	return "call to " + target + " (complex-lock operation may sleep)"
+}
+
+// handleCall processes one call: unlock-closure arguments first, then the
+// blocking check against the held set, then the call's own lock effects.
+func (w *Walker) handleCall(call *ast.CallExpr, st *wstate) {
+	for _, arg := range call.Args {
+		if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			w.closureReleases(fl, st)
+		}
+	}
+	ops := Classify(w.Info, call)
+	desc := ""
+	for _, op := range ops {
+		if op.MayBlock {
+			desc = blockDesc(op)
+			break
+		}
+	}
+	if len(ops) == 0 {
+		if d, ok := BlockingCall(w.Info, call); ok {
+			desc = "call to " + d
+		} else if w.IsBlocking != nil {
+			if d, ok := w.IsBlocking(call); ok {
+				desc = d
+			}
+		}
+		if w.Hooks.Call != nil {
+			w.Hooks.Call(call)
+		}
+	}
+	if desc != "" {
+		w.blockingAt(call, desc, st)
+	}
+	for _, op := range ops {
+		w.apply(op, st)
+	}
+}
+
+func (w *Walker) apply(op Op, st *wstate) {
+	switch op.Kind {
+	case OpAcquire:
+		if w.Hooks.Acquire != nil {
+			w.Hooks.Acquire(op, append([]Held(nil), st.held...))
+		}
+		st.held = append(st.held, Held{Op: op, Pos: op.Call.Pos()})
+	case OpRelease:
+		w.release(op, st)
+	case OpRefTake:
+		if w.Hooks.RefTake != nil {
+			w.Hooks.RefTake(op)
+		}
+	}
+	// OpTryAcquire and the upgrade/downgrade ops only change state through
+	// branch conditions; see cond/applyCond.
+}
+
+func (w *Walker) release(op Op, st *wstate) {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i].Op.Key == op.Key {
+			st.held = append(st.held[:i:i], st.held[i+1:]...)
+			break
+		}
+	}
+	if w.Hooks.Release != nil {
+		w.Hooks.Release(op)
+	}
+}
+
+// closureReleases applies the release operations inside a function
+// literal passed as a call argument: the sched.ThreadSleep unlock-closure
+// idiom runs the closure before the callee blocks.
+func (w *Walker) closureReleases(fl *ast.FuncLit, st *wstate) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, op := range Classify(w.Info, call) {
+				if op.Kind == OpRelease {
+					w.release(op, st)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// expr traverses an expression, handling calls and channel receives.
+// Function literal bodies are opaque (their own goroutine/deferred frame),
+// except as handled by closureReleases at call sites.
+func (w *Walker) expr(e ast.Expr, st *wstate) {
+	if e == nil || w.aborted {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if w.aborted {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.handleCall(n, st)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !w.suppressChan {
+				w.blockingAt(n, "channel receive", st)
+			}
+		}
+		return true
+	})
+}
+
+func condKind(k OpKind) bool {
+	return k == OpTryAcquire || k == OpUpgradeMayDrop || k == OpUpgradeKeep
+}
+
+// cond analyzes a branch condition. When the condition is (a negation of)
+// a try/upgrade operation, or a variable bound to one, it returns the op
+// and whether the chain negates the call's result.
+func (w *Walker) cond(cond ast.Expr, st *wstate) (*Op, bool) {
+	e := ast.Unparen(cond)
+	neg := false
+	for {
+		u, ok := e.(*ast.UnaryExpr)
+		if !ok || u.Op != token.NOT {
+			break
+		}
+		neg = !neg
+		e = ast.Unparen(u.X)
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		ops := Classify(w.Info, call)
+		if len(ops) == 1 && condKind(ops[0].Kind) {
+			w.expr(cond, st) // nested argument effects + may-block reporting
+			return &ops[0], neg
+		}
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := w.Info.Uses[id]; obj != nil {
+			if op, ok := w.tryBind[obj]; ok {
+				return &op, neg
+			}
+		}
+	}
+	w.expr(cond, st)
+	return nil, false
+}
+
+// applyCond applies the branch-dependent effect of a try/upgrade op given
+// the call's boolean result on this branch.
+func (w *Walker) applyCond(op Op, result bool, st *wstate) {
+	switch op.Kind {
+	case OpTryAcquire:
+		if result {
+			acq := op
+			acq.Kind = OpAcquire
+			acq.FromTry = true
+			w.apply(acq, st)
+		}
+	case OpUpgradeMayDrop:
+		// cxlock ReadToWrite: true means the hold was dropped.
+		if result {
+			rel := op
+			rel.Kind = OpRelease
+			w.release(rel, st)
+		}
+	case OpUpgradeKeep:
+		// TryReadToWrite keeps the hold either way.
+	}
+}
+
+func (w *Walker) bindTry(id *ast.Ident, rhs ast.Expr) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	ops := Classify(w.Info, call)
+	if len(ops) != 1 || !condKind(ops[0].Kind) {
+		return
+	}
+	obj := w.Info.Defs[id]
+	if obj == nil {
+		obj = w.Info.Uses[id]
+	}
+	if obj != nil {
+		w.tryBind[obj] = ops[0]
+	}
+}
+
+func (w *Walker) stmt(s ast.Stmt, st *wstate) {
+	if s == nil || st.terminated || w.aborted {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, x := range s.List {
+			w.stmt(x, st)
+			if st.terminated || w.aborted {
+				return
+			}
+		}
+
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && IsPanic(w.Info, call) {
+			st.terminated = true
+		}
+
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, st)
+		}
+		for _, l := range s.Lhs {
+			if _, ok := l.(*ast.Ident); !ok {
+				w.expr(l, st)
+			}
+		}
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				w.bindTry(id, s.Rhs[0])
+			}
+		}
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					w.expr(v, st)
+				}
+				if len(vs.Names) == 1 && len(vs.Values) == 1 {
+					w.bindTry(vs.Names[0], vs.Values[0])
+				}
+			}
+		}
+
+	case *ast.IfStmt:
+		w.stmt(s.Init, st)
+		condOp, negated := w.cond(s.Cond, st)
+		thenSt := st.clone()
+		elseSt := st.clone()
+		if condOp != nil {
+			w.applyCond(*condOp, !negated, thenSt)
+			w.applyCond(*condOp, negated, elseSt)
+		}
+		w.stmt(s.Body, thenSt)
+		if s.Else != nil {
+			w.stmt(s.Else, elseSt)
+		}
+		merge(st, thenSt, elseSt)
+
+	case *ast.ForStmt:
+		w.stmt(s.Init, st)
+		var spin *Op
+		if s.Cond != nil {
+			op, neg := w.cond(s.Cond, st)
+			// for !l.TryLock() {} — the loop only exits having acquired.
+			if op != nil && neg && op.Kind == OpTryAcquire {
+				spin = op
+			}
+		}
+		body := st.clone()
+		w.stmt(s.Body, body)
+		if !body.terminated {
+			w.stmt(s.Post, body)
+		}
+		if s.Cond == nil && !hasBreak(s.Body) {
+			// for {} with no break never falls through; its only exits are
+			// the returns inside, which already fired their Exit hooks.
+			st.terminated = true
+			return
+		}
+		entry := st.clone()
+		merge(st, entry, body)
+		if spin != nil && !st.terminated {
+			acq := *spin
+			acq.Kind = OpAcquire
+			acq.FromTry = true
+			w.apply(acq, st)
+		}
+
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		if tv, ok := w.Info.Types[s.X]; ok && ChanType(tv.Type) {
+			w.blockingAt(s, "receive in range over channel", st)
+		}
+		body := st.clone()
+		w.stmt(s.Body, body)
+		entry := st.clone()
+		merge(st, entry, body)
+
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, st)
+		w.expr(s.Tag, st)
+		w.caseBranches(s.Body, st)
+
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, st)
+		w.stmt(s.Assign, st)
+		w.caseBranches(s.Body, st)
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.blockingAt(s, "select with no default case", st)
+		}
+		var branches []*wstate
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			cs := st.clone()
+			save := w.suppressChan
+			w.suppressChan = true // the select itself was the blocking point
+			w.stmt(cc.Comm, cs)
+			w.suppressChan = save
+			for _, b := range cc.Body {
+				w.stmt(b, cs)
+				if cs.terminated || w.aborted {
+					break
+				}
+			}
+			branches = append(branches, cs)
+		}
+		merge(st, branches...)
+
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+		if !w.suppressChan {
+			w.blockingAt(s, "channel send", st)
+		}
+
+	case *ast.DeferStmt:
+		for _, a := range s.Call.Args {
+			if _, ok := ast.Unparen(a).(*ast.FuncLit); !ok {
+				w.expr(a, st)
+			}
+		}
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					for _, op := range Classify(w.Info, call) {
+						if op.Kind == OpRelease {
+							st.deferred[op.Key] = true
+						}
+					}
+				}
+				return true
+			})
+		} else {
+			for _, op := range Classify(w.Info, s.Call) {
+				if op.Kind == OpRelease {
+					st.deferred[op.Key] = true
+				}
+			}
+		}
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, st)
+		}
+		if w.Hooks.Exit != nil {
+			w.Hooks.Exit(s.Return, effectiveHeld(st))
+		}
+		st.terminated = true
+
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			w.aborted = true
+			if w.Hooks.Goto != nil {
+				w.Hooks.Goto(s.Pos())
+			}
+		} else {
+			// break/continue: abandon this path's tail. The enclosing
+			// loop/switch merge keeps the entry state alive.
+			st.terminated = true
+		}
+
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			if _, ok := ast.Unparen(a).(*ast.FuncLit); !ok {
+				w.expr(a, st)
+			}
+		}
+
+	case *ast.IncDecStmt:
+		w.expr(s.X, st)
+	}
+}
+
+// hasBreak reports whether body contains a break that targets the
+// enclosing loop (nested loops, switches, and selects consume their own
+// breaks; labeled breaks are conservatively counted).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var scan func(s ast.Stmt)
+	scan = func(s ast.Stmt) {
+		if found || s == nil {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.BlockStmt:
+			for _, x := range s.List {
+				scan(x)
+			}
+		case *ast.IfStmt:
+			scan(s.Body)
+			scan(s.Else)
+		case *ast.LabeledStmt:
+			scan(s.Stmt)
+			// Nested loops/switches/selects swallow unlabeled breaks; a
+			// labeled break inside them is rare enough to ignore here.
+		}
+	}
+	scan(body)
+	return found
+}
+
+func (w *Walker) caseBranches(body *ast.BlockStmt, st *wstate) {
+	hasDefault := false
+	var branches []*wstate
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cs := st.clone()
+		for _, e := range cc.List {
+			w.expr(e, cs)
+		}
+		for _, b := range cc.Body {
+			w.stmt(b, cs)
+			if cs.terminated || w.aborted {
+				break
+			}
+		}
+		branches = append(branches, cs)
+	}
+	if !hasDefault {
+		branches = append(branches, st.clone())
+	}
+	merge(st, branches...)
+}

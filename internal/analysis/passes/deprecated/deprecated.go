@@ -1,0 +1,49 @@
+// Package deprecated flags uses of the locking APIs this repository has
+// superseded, with the replacement spelled out in the diagnostic:
+//
+//   - machlock.NewComplexLock  -> machlock.NewLock(machlock.WithSleep(...))
+//   - cxlock.New / (*Lock).Init -> cxlock.NewWith(cxlock.Options{...})
+//   - (*cxlock.Lock).SetSleepable -> construct via cxlock.NewWith
+//   - cxlock.SetObserver -> cxlock.AddObserver / RemoveObserver
+//
+// Uses inside the package that declares the symbol are exempt (the
+// deprecated shims have to call something).
+package deprecated
+
+import (
+	"go/types"
+
+	"machlock/internal/analysis/framework"
+	"machlock/internal/analysis/lockstate"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "deprecated",
+	Doc: "deprecated flags calls to superseded locking APIs (NewComplexLock, " +
+		"cxlock.New/Init/SetSleepable, cxlock.SetObserver) and names the replacement.",
+	Run: run,
+}
+
+const cxlockPath = "machlock/internal/core/cxlock"
+
+// targets maps (declaring package, FuncID) to the suggested fix.
+var targets = map[[2]string]string{
+	{"machlock", "NewComplexLock"}:       "use machlock.NewLock (machlock.WithSleep() for canSleep=true) instead",
+	{cxlockPath, "New"}:                  "use cxlock.NewWith(cxlock.Options{Sleep: canSleep}) instead",
+	{cxlockPath, "(*Lock).Init"}:         "use (*Lock).InitWith(cxlock.Options{...}) instead",
+	{cxlockPath, "(*Lock).SetSleepable"}: "set Sleep up front via cxlock.NewWith(cxlock.Options{...}); mutating it after construction races with waiters",
+	{cxlockPath, "SetObserver"}:          "use cxlock.AddObserver/RemoveObserver so multiple observers can coexist instead of silently evicting one another",
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() == pass.PkgPath {
+			continue
+		}
+		if fix, ok := targets[[2]string{fn.Pkg().Path(), lockstate.FuncID(fn)}]; ok {
+			pass.Reportf(id.Pos(), "%s.%s is deprecated: %s", fn.Pkg().Name(), fn.Name(), fix)
+		}
+	}
+	return nil, nil
+}

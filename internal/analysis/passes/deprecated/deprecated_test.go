@@ -1,0 +1,12 @@
+package deprecated_test
+
+import (
+	"testing"
+
+	"machlock/internal/analysis/framework/analysistest"
+	"machlock/internal/analysis/passes/deprecated"
+)
+
+func TestDeprecated(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), deprecated.Analyzer, "deprecated")
+}

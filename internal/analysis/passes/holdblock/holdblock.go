@@ -1,0 +1,90 @@
+// Package holdblock enforces the paper's cardinal simple-lock rule: a
+// spin lock may never be held across an operation that can block. The
+// blocking operations are:
+//
+//   - complex-lock acquisitions and upgrades (cxlock Read/Write,
+//     ReadToWrite, TryReadToWrite, ClassLock.Acquire), which park the
+//     thread when contended;
+//   - reference releases (refcount.Release, object.Object.Release,
+//     vm.Map/Object.Release): dropping the last reference runs the
+//     destructor, which may itself sleep;
+//   - scheduler waits (sched.ThreadBlock/ThreadSleep), time.Sleep, sync
+//     waits, channel sends/receives, select without default, range over
+//     a channel;
+//   - any call whose callee may transitively do one of the above, per
+//     call-graph summaries propagated package-by-package as facts.
+//
+// The summaries also record release-before-block: a callee that drops a
+// caller-visible lock before parking (cxlock's wait() releasing the
+// interlock, the sched.ThreadSleep unlock-closure idiom) does not count
+// that lock as held across the block.
+package holdblock
+
+import (
+	"go/ast"
+
+	"machlock/internal/analysis/framework"
+	"machlock/internal/analysis/lockstate"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "holdblock",
+	Doc: "holdblock reports simple (spin) locks held across blocking operations: " +
+		"complex-lock acquisitions, reference releases, scheduler waits, channel " +
+		"operations, and calls that transitively block.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	summaries, fact := lockstate.ComputeSummaries(
+		pass.TypesInfo, pass.Files, pass.Pkg,
+		func(path string) (lockstate.SummaryFact, bool) {
+			v, ok := pass.ImportPackageFact(path)
+			if !ok {
+				return nil, false
+			}
+			f, ok := v.(lockstate.SummaryFact)
+			return f, ok
+		})
+	pass.ExportPackageFact(fact)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, summaries, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *framework.Pass, summaries *lockstate.Summaries, fd *ast.FuncDecl) {
+	w := &lockstate.Walker{
+		Info: pass.TypesInfo,
+		IsBlocking: func(call *ast.CallExpr) (string, bool) {
+			desc, _, ok := summaries.CallBlocks(pass.TypesInfo, call)
+			return desc, ok
+		},
+	}
+	w.Hooks.Blocking = func(n ast.Node, desc string, held []lockstate.Held) {
+		exempt := map[string]bool{}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, released, ok := summaries.CallBlocks(pass.TypesInfo, call); ok {
+				for _, k := range released {
+					exempt[k] = true
+				}
+			}
+		}
+		for _, h := range held {
+			if h.Op.Class != lockstate.Simple || exempt[h.Op.Key] {
+				continue
+			}
+			pass.Reportf(n.Pos(),
+				"simple lock %s (acquired at %s) is held across a blocking operation: %s",
+				h.Op.Key, pass.Fset.Position(h.Pos), desc)
+		}
+	}
+	w.WalkFunc(fd.Body)
+}

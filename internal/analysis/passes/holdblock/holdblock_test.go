@@ -1,0 +1,12 @@
+package holdblock_test
+
+import (
+	"testing"
+
+	"machlock/internal/analysis/framework/analysistest"
+	"machlock/internal/analysis/passes/holdblock"
+)
+
+func TestHoldblock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), holdblock.Analyzer, "holdblock")
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"machlock/internal/analysis/framework/analysistest"
+	"machlock/internal/analysis/passes/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockorder.Analyzer, "lockorder")
+}

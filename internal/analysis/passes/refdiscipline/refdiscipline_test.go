@@ -1,0 +1,12 @@
+package refdiscipline_test
+
+import (
+	"testing"
+
+	"machlock/internal/analysis/framework/analysistest"
+	"machlock/internal/analysis/passes/refdiscipline"
+)
+
+func TestRefdiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), refdiscipline.Analyzer, "refdiscipline")
+}

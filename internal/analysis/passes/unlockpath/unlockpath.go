@@ -1,0 +1,72 @@
+// Package unlockpath enforces the balanced-unlock rule: every lock
+// acquisition must be released on every path out of the acquiring
+// function, unless the acquisition carries a //machlock:holds annotation
+// declaring that the hold intentionally escapes (lock wrapper methods,
+// lock-handoff protocols such as cxlock's wait() reacquiring the
+// interlock for its caller).
+//
+// unlockpath also owns annotation hygiene: a malformed //machlock: or
+// //machvet: comment would otherwise fail open silently, so bogus
+// annotations are themselves diagnostics.
+package unlockpath
+
+import (
+	"go/ast"
+	"go/token"
+
+	"machlock/internal/analysis/framework"
+	"machlock/internal/analysis/lockstate"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "unlockpath",
+	Doc: "unlockpath reports lock acquisitions that can reach a return while " +
+		"still held without a //machlock:holds annotation, and malformed " +
+		"machlock/machvet annotations.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if ann, ok := framework.ParseAnnotation(c.Text); ok && ann.Bogus != "" {
+					pass.Reportf(c.Pos(), "bad annotation: %s", ann.Bogus)
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	// One report per acquisition, even when several exits leak it.
+	reported := map[token.Pos]bool{}
+	w := &lockstate.Walker{
+		Info: pass.TypesInfo,
+		Hooks: lockstate.Hooks{
+			Exit: func(pos token.Pos, held []lockstate.Held) {
+				for _, h := range held {
+					if reported[h.Pos] || pass.HoldsAt(h.Pos) {
+						continue
+					}
+					reported[h.Pos] = true
+					pass.Reportf(h.Pos,
+						"%s %s acquired here is still held when %s returns; release it on every path, or annotate the acquisition with //machlock:holds if the hold intentionally escapes",
+						h.Op.Class, h.Op.Key, fd.Name.Name)
+				}
+			},
+		},
+	}
+	w.WalkFunc(fd.Body)
+}

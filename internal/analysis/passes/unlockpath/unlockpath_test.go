@@ -1,0 +1,12 @@
+package unlockpath_test
+
+import (
+	"testing"
+
+	"machlock/internal/analysis/framework/analysistest"
+	"machlock/internal/analysis/passes/unlockpath"
+)
+
+func TestUnlockpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), unlockpath.Analyzer, "unlockpath")
+}

@@ -1,0 +1,32 @@
+// Fixture for the deprecated pass: every superseded constructor and
+// mutator, plus the replacements (which must stay silent).
+package deprecated
+
+import (
+	"machlock"
+	"machlock/internal/core/cxlock"
+)
+
+func uses() {
+	rw := machlock.NewComplexLock(true) // want `machlock\.NewComplexLock is deprecated: use machlock\.NewLock`
+	_ = rw
+
+	l := cxlock.New(false) // want `cxlock\.New is deprecated: use cxlock\.NewWith`
+	l.SetSleepable(true)   // want `cxlock\.SetSleepable is deprecated: set Sleep up front`
+
+	var embedded cxlock.Lock
+	embedded.Init(true) // want `cxlock\.Init is deprecated: use \(\*Lock\)\.InitWith`
+
+	cxlock.SetObserver(nil) // want `cxlock\.SetObserver is deprecated: use cxlock\.AddObserver/RemoveObserver`
+}
+
+func replacements() {
+	rw := machlock.NewLock(machlock.WithSleep())
+	_ = rw
+
+	l := cxlock.NewWith(cxlock.Options{Sleep: true})
+	_ = l
+
+	var embedded cxlock.Lock
+	embedded.InitWith(cxlock.Options{})
+}

@@ -1,0 +1,71 @@
+// Fixture for the holdblock pass: simple locks held across each family of
+// blocking operation, the transitive-call case, and the sanctioned
+// release-under-own-lock protocol suppressed with //machvet:allow.
+package holdblock
+
+import (
+	"time"
+
+	"machlock/internal/core/refcount"
+	"machlock/internal/core/splock"
+	"machlock/internal/sched"
+)
+
+type widget struct {
+	mu   splock.Lock
+	refs refcount.Count
+	ch   chan int
+}
+
+// Seeded violation: a reference release (which may run a blocking
+// destructor) under a spin lock.
+func releaseUnderLock(w *widget) {
+	w.mu.Lock()
+	w.refs.Release() // want `simple lock w\.mu .*held across a blocking operation`
+	w.mu.Unlock()
+}
+
+func sleepUnderLock(w *widget) {
+	w.mu.Lock()
+	time.Sleep(time.Millisecond) // want `simple lock w\.mu .*held across a blocking operation`
+	w.mu.Unlock()
+}
+
+func recvUnderLock(w *widget) {
+	w.mu.Lock()
+	<-w.ch // want `simple lock w\.mu .*held across a blocking operation`
+	w.mu.Unlock()
+}
+
+func waitUnderLock(w *widget, t *sched.Thread) {
+	w.mu.Lock()
+	sched.ThreadBlock(t) // want `simple lock w\.mu .*held across a blocking operation`
+	w.mu.Unlock()
+}
+
+// Released before the block: clean.
+func releasedFirst(w *widget) {
+	w.mu.Lock()
+	w.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// The block is reached through a call: the callee's may-block summary
+// propagates to the caller.
+func helper() {
+	time.Sleep(time.Millisecond)
+}
+
+func callsHelper(w *widget) {
+	w.mu.Lock()
+	helper() // want `simple lock w\.mu .*held across a blocking operation`
+	w.mu.Unlock()
+}
+
+// The release-under-own-lock protocol, suppressed where sanctioned.
+func allowed(w *widget) {
+	w.mu.Lock()
+	//machvet:allow holdblock — fixture: the decrement under the owning lock is the release protocol
+	w.refs.Release()
+	w.mu.Unlock()
+}

@@ -1,0 +1,50 @@
+// Fixture for the lockorder pass: an order established by one function and
+// inverted by another, a declared-rank violation, and the try-acquire
+// (backout protocol) exemption.
+package lockorder
+
+import (
+	"machlock/internal/core/splock"
+	"machlock/internal/sched"
+)
+
+type a struct{ mu splock.Lock }
+type b struct{ mu splock.Lock }
+
+// Establishes the order a.mu before b.mu.
+func forward(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// Inverts it.
+func backward(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock() // want `inconsistent lock order: lockorder\.b\.mu is acquired before lockorder\.a\.mu here, but lockorder\.a\.mu before lockorder\.b\.mu at `
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// A single attempt against the order is the sanctioned backout protocol.
+func backout(x *a, y *b) {
+	y.mu.Lock()
+	if x.mu.TryLock() {
+		x.mu.Unlock()
+	}
+	y.mu.Unlock()
+}
+
+var hier = splock.NewHierarchy(false)
+
+var low = hier.NewOrdered("low", 10)
+var high = hier.NewOrdered("high", 20)
+
+// Declared ranks must strictly increase along an acquisition chain.
+func ranked(t *sched.Thread) {
+	high.Lock(t)
+	low.Lock(t) // want `hierarchy violation: acquiring lockorder\.low \(rank 10\) while holding lockorder\.high \(rank 20\)`
+	low.Unlock(t)
+	high.Unlock(t)
+}

@@ -1,0 +1,48 @@
+// Fixture for the unlockpath pass: leaked holds, balanced holds, the
+// //machlock:holds escape, and annotation hygiene.
+package unlockpath
+
+import "machlock/internal/core/splock"
+
+type thing struct {
+	mu splock.Lock
+}
+
+// The early return leaks the hold.
+func leaky(t *thing, cond bool) {
+	t.mu.Lock() // want `t\.mu acquired here is still held when leaky returns`
+	if cond {
+		return
+	}
+	t.mu.Unlock()
+}
+
+func balanced(t *thing, cond bool) {
+	t.mu.Lock()
+	if cond {
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+}
+
+func deferred(t *thing, cond bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cond {
+		return
+	}
+}
+
+// The annotation declares an intentionally escaping hold.
+func handoff(t *thing) {
+	t.mu.Lock() //machlock:holds — the caller inherits the hold
+}
+
+//machlock:holdz — typo // want `bad annotation: unknown machlock annotation "holdz"`
+func typoHolds(t *thing) {
+	t.mu.Lock() // want `t\.mu acquired here is still held when typoHolds returns`
+}
+
+//machvet:allow nosuchpass // want `bad annotation: machvet:allow names unknown pass "nosuchpass"`
+func typoAllow() {}

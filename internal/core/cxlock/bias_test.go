@@ -296,7 +296,9 @@ func TestBiasReadersRaceClean(t *testing.T) {
 			}
 		}()
 	}
+	wrote := make(chan struct{})
 	w := sched.Go("w", func(self *sched.Thread) {
+		first := true
 		for {
 			select {
 			case <-stop:
@@ -306,10 +308,18 @@ func TestBiasReadersRaceClean(t *testing.T) {
 			l.Write(self)
 			shared[0]++
 			l.Done(self)
+			if first {
+				first = false
+				close(wrote)
+			}
 			time.Sleep(time.Millisecond)
 		}
 	})
 	wg.Wait()
+	// Under heavy host load the readers can drain before the writer is
+	// ever scheduled; insist on one write so the overlap assertions below
+	// are meaningful.
+	<-wrote
 	close(stop)
 	w.Join()
 	s := l.Stats()

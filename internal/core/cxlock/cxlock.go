@@ -224,7 +224,7 @@ func (l *Lock) wait(t *sched.Thread) {
 	if tr {
 		l.class.DoneWaiting(time.Since(start).Nanoseconds())
 	}
-	l.interlock.Lock()
+	l.interlock.Lock() //machlock:holds — handoff: wait() returns with the interlock reacquired for its caller
 }
 
 // pauseSink defeats dead-code elimination of the busy-wait loop without

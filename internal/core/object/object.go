@@ -80,7 +80,7 @@ func (o *Object) Lock() {
 	if o.destroyed.Load() {
 		panic(fmt.Sprintf("object: %s: lock of destroyed object (missing reference?)", o.name))
 	}
-	o.lock.Lock()
+	o.lock.Lock() //machlock:holds — wrapper: the hold escapes to Lock's caller
 }
 
 // Unlock unlocks the object's simple lock.
@@ -149,6 +149,7 @@ func (o *Object) Refs() int32 { return o.refs.Refs() }
 // Release returns true when the object was destroyed.
 func (o *Object) Release(destroy func()) bool {
 	o.Lock()
+	//machvet:allow holdblock — the decrement under the object's own lock is the release protocol; the blocking destroy runs after Unlock
 	last := o.refs.Release()
 	o.Unlock()
 	if !last {

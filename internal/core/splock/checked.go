@@ -61,7 +61,7 @@ func (c *Checked) Lock(h Holder) {
 	tr := c.class.On()
 	var waitNs int64
 	contended := false
-	if !c.l.TryLock() {
+	if !c.l.TryLock() { //machlock:holds — wrapper: the hold escapes to Lock's caller
 		c.contended.Add(1)
 		contended = true
 		var start time.Time
@@ -69,7 +69,7 @@ func (c *Checked) Lock(h Holder) {
 			start = time.Now()
 			c.class.Waiting()
 		}
-		c.l.Lock()
+		c.l.Lock() //machlock:holds — wrapper: the hold escapes to Lock's caller
 		if tr {
 			waitNs = time.Since(start).Nanoseconds()
 			c.class.DoneWaiting(waitNs)
@@ -91,7 +91,7 @@ func (c *Checked) TryLock(h Holder) bool {
 	if h == nil {
 		panic("splock: checked lock acquired with nil holder")
 	}
-	if !c.l.TryLock() {
+	if !c.l.TryLock() { //machlock:holds — wrapper: the hold escapes to TryLock's caller
 		return false
 	}
 	c.mu.Lock()

@@ -72,7 +72,7 @@ func (l *OrderedLock) Rank() int { return l.rank }
 // Lock acquires the lock for t, checking rank order against t's held locks.
 func (l *OrderedLock) Lock(t RankTracker) {
 	l.h.checkOrder(t, l)
-	l.Checked.Lock(t.(Holder))
+	l.Checked.Lock(t.(Holder)) //machlock:holds — wrapper: the hold escapes to Lock's caller
 	t.PushRank(l.rank)
 }
 
@@ -81,7 +81,7 @@ func (l *OrderedLock) Lock(t RankTracker) {
 // legitimately acquires locks against the usual order (the backout
 // protocol of Section 5).
 func (l *OrderedLock) TryLock(t RankTracker) bool {
-	if !l.Checked.TryLock(t.(Holder)) {
+	if !l.Checked.TryLock(t.(Holder)) { //machlock:holds — wrapper: the hold escapes to TryLock's caller
 		return false
 	}
 	t.PushRank(l.rank)
@@ -137,8 +137,8 @@ func LockPair(t RankTracker, a, b *OrderedLock) {
 		a, b = b, a
 	}
 	a.h.checkOrder(t, a)
-	a.Checked.Lock(t.(Holder))
-	b.Checked.Lock(t.(Holder))
+	a.Checked.Lock(t.(Holder)) //machlock:holds — LockPair returns holding both locks
+	b.Checked.Lock(t.(Holder)) //machlock:holds — LockPair returns holding both locks
 	t.PushRank(a.rank)
 	t.PushRank(b.rank)
 }

@@ -43,7 +43,7 @@ func (s *StatLock) Name() string { return s.name }
 
 // Lock acquires the lock, recording wait time if contended.
 func (s *StatLock) Lock() {
-	if s.l.TryLock() {
+	if s.l.TryLock() { //machlock:holds — wrapper: the hold escapes to Lock's caller
 		s.acquisitions.Add(1)
 		s.acquiredAt.Store(time.Now().UnixNano())
 		s.class.Acquired(false, 0)
@@ -52,7 +52,7 @@ func (s *StatLock) Lock() {
 	s.contended.Add(1)
 	s.class.Waiting()
 	start := time.Now()
-	s.l.Lock()
+	s.l.Lock() //machlock:holds — wrapper: the hold escapes to Lock's caller
 	waitNs := time.Since(start).Nanoseconds()
 	s.wait.Observe(waitNs)
 	s.acquisitions.Add(1)
@@ -63,7 +63,7 @@ func (s *StatLock) Lock() {
 
 // TryLock makes a single attempt.
 func (s *StatLock) TryLock() bool {
-	if !s.l.TryLock() {
+	if !s.l.TryLock() { //machlock:holds — wrapper: the hold escapes to TryLock's caller
 		return false
 	}
 	s.acquisitions.Add(1)

@@ -63,7 +63,7 @@ func TestClaimE3WriterPriority(t *testing.T) {
 // E4: the upgrade protocol restarts under contention; write+downgrade
 // never does (structurally cannot).
 func TestClaimE4UpgradeRestarts(t *testing.T) {
-	l := cxlock.New(true)
+	l := cxlock.NewWith(cxlock.Options{Sleep: true})
 	var restarts atomic.Int64
 	var ths []*sched.Thread
 	for i := 0; i < 4; i++ {

@@ -93,7 +93,7 @@ func runE3(cfg Config) *Result {
 
 	// Mach complex lock (writer priority).
 	{
-		l := cxlock.New(true)
+		l := cxlock.NewWith(cxlock.Options{Sleep: true})
 		writerWaiting.Store(false)
 		admittedPast.Store(0)
 		stop := make(chan struct{})
@@ -221,7 +221,7 @@ func runE4(cfg Config) *Result {
 
 	// Upgrade protocol.
 	{
-		l := cxlock.New(true)
+		l := cxlock.NewWith(cxlock.Options{Sleep: true})
 		var restarts atomic.Int64
 		var shared int64
 		elapsed := timeIt(func() {
@@ -254,7 +254,7 @@ func runE4(cfg Config) *Result {
 
 	// Write-then-downgrade protocol.
 	{
-		l := cxlock.New(true)
+		l := cxlock.NewWith(cxlock.Options{Sleep: true})
 		var shared int64
 		elapsed := timeIt(func() {
 			var ths []*sched.Thread
@@ -316,7 +316,7 @@ func runE5(cfg Config) *Result {
 			byRates := make([]float64, 0, reps)
 			var sleeps, spins int64
 			for rep := 0; rep < reps; rep++ {
-				l := cxlock.New(sleepable)
+				l := cxlock.NewWith(cxlock.Options{Sleep: sleepable})
 				// Real kernel spinners occupy their processor; model
 				// that instead of politely yielding to the scheduler.
 				l.BusyWait = true

@@ -6,7 +6,6 @@ import (
 
 	"machlock/internal/core/cxlock"
 	"machlock/internal/core/object"
-	"machlock/internal/core/splock"
 	"machlock/internal/hw"
 	"machlock/internal/sched"
 	"machlock/internal/trace"
@@ -17,7 +16,7 @@ var (
 	classProcessor   = trace.NewClass("kern", "kern.processor", trace.KindObject)
 	classPset        = trace.NewClass("kern", "kern.pset", trace.KindObject)
 	classPsetMembers = trace.NewClass("kern", "kern.pset.members", trace.KindComplex)
-	classAssign      = trace.NewClass("kern", "kern.host.assign", trace.KindSpin)
+	classAssign      = trace.NewClass("kern", "kern.host.assign", trace.KindComplex)
 )
 
 // Processor sets are the paper's cited example of a subsystem designed on
@@ -65,6 +64,11 @@ type ProcessorSet struct {
 	members cxlock.Lock
 	procs   []*Processor
 	tasks   []*Task
+	// draining marks that Destroy has swept (or is sweeping) the task
+	// list. Set and tested under members.Write: it is the liveness gate a
+	// racing AssignTask re-checks once it wins the members lock, since the
+	// object lock cannot be held across the (sleepable) members lock.
+	draining bool
 }
 
 // Host owns the processor sets of one machine: the default set, the
@@ -72,10 +76,13 @@ type ProcessorSet struct {
 // reassignment locks two sets; instead of ordering set locks by address
 // each time, the host serializes reassignments with a single assignment
 // lock — the "order by type, and a designated arbiter above equal types"
-// convention of Section 5 in its simplest form.
+// convention of Section 5 in its simplest form. The lock is a sleepable
+// complex lock held in write mode: reassignment releases references and
+// takes the members write lock, both of which may block, so a simple lock
+// here would violate the no-blocking-while-held rule.
 type Host struct {
 	machine    *hw.Machine
-	assignLock splock.Lock
+	assignLock cxlock.Lock
 	defaultSet *ProcessorSet
 	procs      []*Processor
 }
@@ -84,7 +91,11 @@ type Host struct {
 // containing a Processor per simulated CPU.
 func NewHost(m *hw.Machine) *Host {
 	h := &Host{machine: m}
-	h.assignLock.SetClass(classAssign)
+	h.assignLock.InitWith(cxlock.Options{
+		Sleep: true, // reassignment drops references, which may block
+		Name:  "kern.host.assign",
+		Class: classAssign,
+	})
 	h.defaultSet = h.newSet("default", true)
 	for i := 0; i < m.NCPU(); i++ {
 		p := &Processor{cpu: m.CPU(i)}
@@ -122,10 +133,13 @@ func (h *Host) NewSet(name string) *ProcessorSet { return h.newSet(name, false) 
 func (h *Host) attach(p *Processor, set *ProcessorSet) {
 	set.Lock()
 	set.Reference() // the processor's set pointer
+	set.Unlock()
+	// The members write lock may sleep, so it is taken after the object
+	// lock is dropped; the assignment lock (or construction) already
+	// serializes membership changes.
 	set.members.Write(nil)
 	set.procs = append(set.procs, p)
 	set.members.Done(nil)
-	set.Unlock()
 	p.Lock()
 	p.set = set
 	p.Reference() // the set's member pointer to the processor
@@ -138,25 +152,34 @@ func (h *Host) attach(p *Processor, set *ProcessorSet) {
 // AssignProcessor moves p into set s. Fails if s is deactivated. Moving
 // into the set already holding p is a no-op.
 func (h *Host) AssignProcessor(p *Processor, s *ProcessorSet) error {
-	h.assignLock.Lock()
-	defer h.assignLock.Unlock()
+	h.assignLock.Write(nil)
+	defer h.assignLock.Done(nil)
 
+	// Settle liveness and take the destination reference in one hold, so
+	// a failure needs no backout. If s is deactivated after this check,
+	// Destroy's drain serializes behind the assignment lock and will
+	// migrate p right back out — the attach below is never stranded.
 	s.Lock()
 	if err := s.CheckActive(); err != nil {
 		s.Unlock()
 		return err
 	}
+	s.Reference() // p's set pointer
 	s.Unlock()
 
 	p.Lock()
 	old := p.set
+	p.Reference() // migration reference: covers p across the blocking section
 	p.Unlock()
 	if old == s {
+		p.Release(nil) // the migration reference
+		s.Release(nil) // the set pointer p already holds
 		return nil
 	}
 
 	// Detach from the old set. The membership slice is under the
-	// members lock; its Write drains any biased iterators first.
+	// members lock; its Write drains any biased iterators first. Only the
+	// (sleepable) assignment lock is held across it.
 	old.members.Write(nil)
 	for i, x := range old.procs {
 		if x == p {
@@ -169,17 +192,16 @@ func (h *Host) AssignProcessor(p *Processor, s *ProcessorSet) error {
 
 	// Attach to the new set: both membership pointers are counted
 	// references (Section 8, inter-object pointers).
-	s.Lock()
-	s.Reference() // p's set pointer
 	s.members.Write(nil)
 	s.procs = append(s.procs, p)
 	s.members.Done(nil)
-	s.Unlock()
 	p.Lock()
+	old = p.set // re-read under the relock, per the no-caching rule
 	p.set = s
 	p.Reference() // s's member pointer to p
 	p.Unlock()
 	old.Release(nil) // p's reference to the old set
+	p.Release(nil)   // the migration reference
 	return nil
 }
 
@@ -188,14 +210,24 @@ func (h *Host) AssignProcessor(p *Processor, s *ProcessorSet) error {
 // needed — tasks do not point back.
 func (s *ProcessorSet) AssignTask(t *Task) error {
 	s.Lock()
-	defer s.Unlock()
 	if err := s.CheckActive(); err != nil {
+		s.Unlock()
 		return err
 	}
+	s.Unlock()
 	t.TakeRef()
-	// The active check and the append stay under one object-lock hold so
-	// Destroy (deactivate, then drain) cannot miss a racing assignment.
+	// Liveness is re-decided under the members write lock, which cannot be
+	// taken with the object lock held (it may sleep): Destroy deactivates
+	// first and only then sets draining under its own write hold, so
+	// whichever of append and drain wins this lock settles the task's
+	// owner — the drain sweeps tasks appended before it, and an assigner
+	// arriving after it backs out.
 	s.members.Write(nil)
+	if s.draining {
+		s.members.Done(nil)
+		t.Release(nil)
+		return ErrTerminated
+	}
 	s.tasks = append(s.tasks, t)
 	s.members.Done(nil)
 	return nil
@@ -247,14 +279,16 @@ func (s *ProcessorSet) Destroy() error {
 			return err
 		}
 	}
-	// The set is deactivated, so AssignTask (which checks liveness under
-	// the object lock) can no longer add entries; grab the remainder.
-	s.Lock()
+	// The set is deactivated, so no new assignment passes AssignTask's
+	// object-lock check; one already past it races this drain, and the
+	// draining flag — set and tested under the members write lock —
+	// decides who owns each task: the drain sweeps everything appended
+	// before it, the assigner backs out after it.
 	s.members.Write(nil)
+	s.draining = true
 	tasks := s.tasks
 	s.tasks = nil
 	s.members.Done(nil)
-	s.Unlock()
 
 	// Move the tasks to the default set; release this set's references.
 	for _, t := range tasks {

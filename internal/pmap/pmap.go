@@ -130,7 +130,7 @@ type System struct {
 // NewSystem creates a pmap module managing npages physical pages.
 func NewSystem(mode Mode, npages int) *System {
 	s := &System{mode: mode, pages: make([]physPage, npages)}
-	s.sysLock.Init(false) // spin lock: pmap code never sleeps
+	s.sysLock.InitWith(cxlock.Options{Name: "pmap.system"}) // spin lock: pmap code never sleeps
 	s.classLock = cxlock.NewClassLock()
 	return s
 }
@@ -264,6 +264,7 @@ func (s *System) PageProtect(pa uint64, prot Prot) {
 		pp.lock.Lock()
 		for i := 0; i < len(pp.pv); {
 			e := pp.pv[i]
+			//machvet:allow lockorder — reverse pv→pmap order is arbitrated by the class lock (Section 5): forward-order holders are excluded while the Reverse class is held
 			e.pm.lock.Lock()
 			s.protectOne(pp, e, prot)
 			e.pm.lock.Unlock()

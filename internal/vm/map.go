@@ -106,6 +106,7 @@ func (m *Map) Reference() {
 // their pages).
 func (m *Map) Release(t *sched.Thread) {
 	m.refLock.Lock()
+	//machvet:allow holdblock — decrement under the map's own ref lock is the release protocol; the blocking teardown runs after Unlock
 	last := m.refs.Release()
 	m.refLock.Unlock()
 	if !last {

@@ -79,6 +79,7 @@ func (o *Object) Refs() int32 {
 // locks.
 func (o *Object) Release(t *sched.Thread) {
 	o.lock.Lock()
+	//machvet:allow holdblock — decrement under the object's own lock is the release protocol; the blocking teardown runs after Unlock
 	if !o.refs.Release() {
 		o.lock.Unlock()
 		return

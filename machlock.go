@@ -45,7 +45,9 @@ type ComplexLock = cxlock.Lock
 // Deprecated: use NewLock with options — NewLock(WithSleep()) for
 // canSleep=true. NewComplexLock implies WithRecursive for compatibility
 // with callers that used SetRecursive.
-func NewComplexLock(canSleep bool) *ComplexLock { return cxlock.New(canSleep) }
+func NewComplexLock(canSleep bool) *ComplexLock {
+	return cxlock.NewWith(cxlock.Options{Sleep: canSleep, Recursive: true})
+}
 
 // ComplexLockStats is a snapshot of a complex lock's accounting.
 type ComplexLockStats = cxlock.Stats

@@ -14,7 +14,7 @@ func TestQuickstart(t *testing.T) {
 	lock.Lock()
 	lock.Unlock()
 
-	rw := machlock.NewComplexLock(true)
+	rw := machlock.NewLock(machlock.WithSleep())
 	worker := machlock.Go("worker", func(self *machlock.Thread) {
 		rw.Read(self)
 		defer rw.Done(self)
@@ -44,7 +44,7 @@ func TestPublicCheckedLock(t *testing.T) {
 }
 
 func TestPublicComplexLockProtocols(t *testing.T) {
-	l := machlock.NewComplexLock(false)
+	l := machlock.NewLock()
 	th := machlock.NewThread("t")
 	l.Read(th)
 	if failed := l.ReadToWrite(th); failed {

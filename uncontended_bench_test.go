@@ -59,7 +59,7 @@ func BenchmarkUncontendedStatLock(b *testing.B) {
 
 // BenchmarkUncontendedComplexRead / Write: the unclassed complex lock.
 func BenchmarkUncontendedComplexRead(b *testing.B) {
-	l := cxlock.New(false)
+	l := cxlock.NewWith(cxlock.Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.Read(nil)
@@ -68,7 +68,7 @@ func BenchmarkUncontendedComplexRead(b *testing.B) {
 }
 
 func BenchmarkUncontendedComplexWrite(b *testing.B) {
-	l := cxlock.New(false)
+	l := cxlock.NewWith(cxlock.Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.Write(nil)
@@ -105,7 +105,7 @@ func BenchmarkUncontendedComplexReadBiasedSlowPath(b *testing.B) {
 // registered with the observability layer, tracing off.
 func BenchmarkUncontendedComplexReadClassed(b *testing.B) {
 	trace.Disable()
-	l := cxlock.New(false)
+	l := cxlock.NewWith(cxlock.Options{})
 	l.SetClass(trace.NewClass("bench", "bench.cx", trace.KindComplex))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -116,7 +116,7 @@ func BenchmarkUncontendedComplexReadClassed(b *testing.B) {
 
 func BenchmarkUncontendedComplexWriteClassed(b *testing.B) {
 	trace.Disable()
-	l := cxlock.New(false)
+	l := cxlock.NewWith(cxlock.Options{})
 	l.SetClass(trace.NewClass("bench", "bench.cx", trace.KindComplex))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
