@@ -154,11 +154,19 @@ func (h *Host) attach(p *Processor, set *ProcessorSet) {
 func (h *Host) AssignProcessor(p *Processor, s *ProcessorSet) error {
 	h.assignLock.Write(nil)
 	defer h.assignLock.Done(nil)
+	return h.assignProcessorLocked(p, s)
+}
 
+// assignProcessorLocked is AssignProcessor with h.assignLock already held
+// in write mode. Destroy calls it directly so the lock covers its whole
+// migration phase, not just each individual reassignment.
+func (h *Host) assignProcessorLocked(p *Processor, s *ProcessorSet) error {
 	// Settle liveness and take the destination reference in one hold, so
-	// a failure needs no backout. If s is deactivated after this check,
-	// Destroy's drain serializes behind the assignment lock and will
-	// migrate p right back out — the attach below is never stranded.
+	// a failure needs no backout. The assignment lock is held from this
+	// check through the attach below, and Destroy holds it across its
+	// entire processor-migration phase: a destroyer either runs before us
+	// (this check fails) or after us (its sweep finds p in s.procs and
+	// migrates it back out) — the attach is never stranded.
 	s.Lock()
 	if err := s.CheckActive(); err != nil {
 		s.Unlock()
@@ -265,8 +273,14 @@ func (s *ProcessorSet) Destroy() error {
 		return ErrTerminated
 	}
 
-	// Migrate processors (under the host assignment lock, as any
-	// reassignment). AssignProcessor tolerates the deactivated source.
+	// Migrate processors. The host assignment lock is held across the
+	// whole phase, not per reassignment: an assigner holds it from its
+	// liveness check through its attach, so once this holds the lock an
+	// empty procs list really means no processor is inbound — a racer
+	// that passed CheckActive before the deactivate above has already
+	// completed its attach and is swept here, and any later assigner
+	// serializes behind this phase and fails CheckActive.
+	s.host.assignLock.Write(nil)
 	for {
 		s.members.Read(nil)
 		if len(s.procs) == 0 {
@@ -275,10 +289,15 @@ func (s *ProcessorSet) Destroy() error {
 		}
 		p := s.procs[0]
 		s.members.Done(nil)
-		if err := s.host.AssignProcessor(p, s.host.defaultSet); err != nil {
-			return err
+		if err := s.host.assignProcessorLocked(p, s.host.defaultSet); err != nil {
+			// The destination is the indestructible default set, so the
+			// liveness check — the only failure — cannot fire. Returning
+			// the error would leave the set half-destroyed (deactivated,
+			// tasks undrained, creator reference unreleased).
+			panic("kern: pset destroy: migration to default set failed: " + err.Error())
 		}
 	}
+	s.host.assignLock.Done(nil)
 	// The set is deactivated, so no new assignment passes AssignTask's
 	// object-lock check; one already past it races this drain, and the
 	// draining flag — set and tested under the members write lock —

@@ -129,6 +129,42 @@ func TestDoubleDestroyLosesCleanly(t *testing.T) {
 	}
 }
 
+func TestDestroyRacesAssignProcessorNoStranding(t *testing.T) {
+	// Regression: an AssignProcessor that passed the liveness check must
+	// not strand its processor in a set whose Destroy saw an empty procs
+	// list. Destroy holds the host assignment lock across its whole
+	// migration phase, so whichever side wins, the processor ends up in
+	// the default set (assigner lost) or gets swept back there (Destroy
+	// ran after a completed attach).
+	for i := 0; i < 100; i++ {
+		m := hw.New(2)
+		h := NewHost(m)
+		s := h.NewSet("doomed")
+		s.TakeRef() // keep the structure observable past Destroy
+		p := h.Processor(0)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_ = h.AssignProcessor(p, s) // may lose to Destroy
+		}()
+		go func() {
+			defer wg.Done()
+			if err := s.Destroy(); err != nil {
+				t.Errorf("iter %d: destroy: %v", i, err)
+			}
+		}()
+		wg.Wait()
+		if got := p.AssignedSet(); got != h.DefaultSet() {
+			t.Fatalf("iter %d: processor stranded in %q", i, got.Name())
+		}
+		if n := len(s.Processors(nil)); n != 0 {
+			t.Fatalf("iter %d: destroyed set still holds %d processors", i, n)
+		}
+		s.Release(nil)
+	}
+}
+
 func TestConcurrentReassignmentStress(t *testing.T) {
 	m := hw.New(4)
 	h := NewHost(m)
