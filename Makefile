@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet machvet test race bench bench-smoke locktrace lockmon mon-smoke
+.PHONY: all build vet machvet test race sim fuzz-smoke bench bench-smoke locktrace lockmon mon-smoke
 
 all: vet build test
 
@@ -22,6 +22,23 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Deterministic schedule exploration (internal/machsim): the TestSim*
+# suites run every protocol under seeded-random walks and bounded-
+# preemption DFS with fixed seeds and budgets, so two consecutive runs
+# explore byte-identical schedules. Also run in CI (before the -race
+# tests), publishing sim-coverage.out as a job artifact. Reproduce a
+# reported failure with MACHSIM_SEED=<seed> or machsim.Replay(schedule).
+sim:
+	$(GO) test -run 'TestSim' -coverprofile=sim-coverage.out \
+		-coverpkg=./internal/... \
+		./internal/machsim/ ./internal/core/... ./internal/kern/ ./internal/sched/
+
+# Seed-corpus pass over the machsim fuzz targets (cxlock option combos,
+# refcount clone/release sequences). For a real fuzzing session:
+#   go test ./internal/core/cxlock/ -run '^$$' -fuzz FuzzSimCxlockOptions
+fuzz-smoke:
+	$(GO) test -run 'FuzzSim' ./internal/core/cxlock/ ./internal/core/refcount/
 
 # Experiment benchmarks (E1-E13) plus the uncontended fast-path pairs
 # that pin the observability layer's disabled-tracing overhead.

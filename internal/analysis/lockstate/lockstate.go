@@ -201,6 +201,12 @@ var blockingTable = map[string]string{
 var trustedLeafPkgs = map[string]bool{
 	pkgSched:               true,
 	"machlock/internal/hw": true,
+	// The machsim seam and harness: Yield may suspend a virtual thread,
+	// but that suspension models a preemption (hardware), not a kernel
+	// sleep — a spinning holder parked at a yield point is exactly the
+	// preempted-holder schedule the harness exists to explore.
+	"machlock/internal/machsim/simhook": true,
+	"machlock/internal/machsim":         true,
 }
 
 // CalleeFunc resolves the called function and the receiver expression of

@@ -5,6 +5,7 @@ import (
 	"time"
 	"unsafe"
 
+	"machlock/internal/machsim/simhook"
 	"machlock/internal/sched"
 	"machlock/internal/trace"
 )
@@ -141,6 +142,12 @@ func newBiasTable() *biasTable {
 // handle's address, stable for the Read/Done pairing and well distributed
 // across threads.
 func slotIndex(t *sched.Thread) int {
+	// Under machsim the handle's address would make slot assignment (and
+	// so collision-induced slow paths) vary run to run; the harness's
+	// stable thread index keeps schedules byte-replayable.
+	if i, ok := simhook.Index(t); ok {
+		return i & (biasSlots - 1)
+	}
 	h := uintptr(unsafe.Pointer(t))
 	h = (h >> 4) * 0x9E3779B97F4A7C15
 	return int((h >> 40) & (biasSlots - 1))
@@ -159,6 +166,10 @@ func (l *Lock) readFast(t *sched.Thread) bool {
 	if s.owner.Load() != nil || !s.owner.CompareAndSwap(nil, t) {
 		return false
 	}
+	// The publish-to-recheck window is THE critical interleaving of the
+	// BRAVO protocol: a writer revoking here must either see our slot in
+	// its scan or be seen by our recheck. Let machsim preempt us in it.
+	simhook.Yield(simhook.CxBiasPublish, l)
 	if !b.armed.Load() {
 		// A writer revoked between our publish and this recheck. It may
 		// already have scanned past our slot, so we never held the lock:
@@ -168,6 +179,7 @@ func (l *Lock) readFast(t *sched.Thread) bool {
 		return false
 	}
 	s.reads.Add(1)
+	simhook.Note(simhook.CxBiasReadGrant, l, 0)
 	return true
 }
 
@@ -184,6 +196,7 @@ func (l *Lock) doneFast(t *sched.Thread) bool {
 		return false
 	}
 	s.owner.Store(nil)
+	simhook.Note(simhook.CxBiasRelease, l, 0)
 	if !b.armed.Load() {
 		// Revocation in progress: the draining writer may be asleep on
 		// the lock event waiting for this very slot.
@@ -210,6 +223,7 @@ func (l *Lock) revokeBiasLocked() {
 	b.armed.Store(false)
 	b.revokedAt.Store(nowNs())
 	b.revocations.Add(1)
+	simhook.Note(simhook.CxBiasRevoke, l, 0)
 	l.class.BiasRevoked()
 }
 
@@ -244,6 +258,7 @@ func (l *Lock) noteBiasDrainedLocked() {
 			cooldown = biasMinCooldownNs
 		}
 		b.rebiasAt.Store(now + cooldown)
+		simhook.Note(simhook.CxBiasDrained, l, 0)
 	}
 }
 
@@ -257,6 +272,7 @@ func (l *Lock) maybeRearmLocked() {
 	}
 	if nowNs() >= b.rebiasAt.Load() {
 		b.armed.Store(true)
+		simhook.Note(simhook.CxBiasRearm, l, 0)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"machlock/internal/core/splock"
+	"machlock/internal/machsim/simhook"
 	"machlock/internal/sched"
 	"machlock/internal/trace"
 )
@@ -137,7 +138,15 @@ func (l *Lock) recordReleased(holdNs int64) {
 	l.class.Released(holdNs)
 }
 
-func nowNs() int64 { return time.Now().UnixNano() }
+// nowNs is the package clock: the machsim virtual clock when a harness is
+// installed (so time-dependent protocol state — the bias re-arm cooldown —
+// is deterministic under schedule exploration), else the host clock.
+func nowNs() int64 {
+	if n, ok := simhook.NowNs(); ok {
+		return n
+	}
+	return time.Now().UnixNano()
+}
 
 type lockStats struct {
 	reads          atomic.Int64
@@ -214,7 +223,12 @@ func (l *Lock) wait(t *sched.Thread) {
 		l.interlock.Unlock()
 		obWaiting(l, t)
 		l.class.Waiting()
-		if l.BusyWait {
+		if simhook.Enabled() {
+			// One spin iteration is a voluntary machsim yield: the
+			// interlock has been released, so the harness is free to run
+			// the holder this waiter is spinning on.
+			simhook.Yield(simhook.CxSpin, l)
+		} else if l.BusyWait {
 			busyPause()
 		} else {
 			runtime.Gosched()
@@ -256,6 +270,7 @@ func (l *Lock) wakeupLocked() {
 // Write acquires the lock for writing (lock_write). If t is the lock's
 // recursive holder, the recursion depth is incremented instead.
 func (l *Lock) Write(t *sched.Thread) {
+	simhook.Yield(simhook.CxWrite, l)
 	instr := l.instrOn()
 	var waitStart time.Time
 	waited := false
@@ -270,6 +285,7 @@ func (l *Lock) Write(t *sched.Thread) {
 		}
 		// Recursive acquisition by the designated holder.
 		l.depth++
+		simhook.Note(simhook.CxRecurseGrant, l, int64(l.depth))
 		l.interlock.Unlock()
 		obAcquired(l, t)
 		l.recordAcquired(false, 0)
@@ -284,6 +300,7 @@ func (l *Lock) Write(t *sched.Thread) {
 		l.wait(t)
 	}
 	l.wantWrite = true
+	simhook.Note(simhook.CxWriteWant, l, 0)
 	// Revoke the reader bias (if armed) before draining: fast-path
 	// readers must either be visible in the slot table or observe the
 	// disarmed flag and queue behind us.
@@ -301,11 +318,13 @@ func (l *Lock) Write(t *sched.Thread) {
 	}
 	l.noteBiasDrainedLocked()
 	l.stats.writes.Add(1)
+	simhook.Note(simhook.CxWriteGrant, l, 0)
 	if instr {
 		l.acquiredAt = nowNs()
 	}
 	l.interlock.Unlock()
 	obAcquired(l, t)
+	simhook.Yield(simhook.CxAcquired, l)
 	var waitNs int64
 	if instr && waited {
 		waitNs = time.Since(waitStart).Nanoseconds()
@@ -317,8 +336,10 @@ func (l *Lock) Write(t *sched.Thread) {
 // read requests are not blocked by pending write or upgrade requests; all
 // other readers queue behind them (writer priority).
 func (l *Lock) Read(t *sched.Thread) {
+	simhook.Yield(simhook.CxRead, l)
 	if l.readFast(t) {
 		obAcquired(l, t)
+		simhook.Yield(simhook.CxAcquired, l)
 		return
 	}
 	instr := l.instrOn()
@@ -328,6 +349,7 @@ func (l *Lock) Read(t *sched.Thread) {
 	if t != nil && l.holder == t {
 		l.readCount++
 		l.stats.reads.Add(1)
+		simhook.Note(simhook.CxReadGrantRec, l, int64(l.readCount))
 		if instr && l.acquiredAt == 0 {
 			l.acquiredAt = nowNs()
 		}
@@ -345,6 +367,7 @@ func (l *Lock) Read(t *sched.Thread) {
 	}
 	l.readCount++
 	l.stats.reads.Add(1)
+	simhook.Note(simhook.CxReadGrant, l, int64(l.readCount))
 	l.maybeRearmLocked()
 	// Occupancy: the hold sample spans from the first reader in to the
 	// last reader out, so only the 0→1 transition stamps the clock.
@@ -353,6 +376,7 @@ func (l *Lock) Read(t *sched.Thread) {
 	}
 	l.interlock.Unlock()
 	obAcquired(l, t)
+	simhook.Yield(simhook.CxAcquired, l)
 	var waitNs int64
 	if instr && waited {
 		waitNs = time.Since(waitStart).Nanoseconds()
@@ -367,6 +391,7 @@ func (l *Lock) Read(t *sched.Thread) {
 // cites as the reason this feature is rarely used. On success (false) the
 // caller holds the lock for writing.
 func (l *Lock) ReadToWrite(t *sched.Thread) bool {
+	simhook.Yield(simhook.CxUpgrade, l)
 	instr := l.instrOn()
 	l.interlock.Lock()
 	// A hold taken on the bias fast path lives in the slot table, not in
@@ -387,6 +412,8 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 		// read hold into recursion depth.
 		l.readCount--
 		l.depth++
+		simhook.Note(simhook.CxReleaseRead, l, int64(l.readCount))
+		simhook.Note(simhook.CxRecurseGrant, l, int64(l.depth))
 		l.interlock.Unlock()
 		l.class.Upgraded(true)
 		return false
@@ -396,6 +423,7 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 		// Someone else is upgrading: two upgrades deadlock, so this one
 		// fails and its read hold is gone.
 		l.stats.failedUpgrades.Add(1)
+		simhook.Note(simhook.CxUpgradeFail, l, int64(l.readCount))
 		holdNs := int64(-1)
 		if instr && l.readCount == 0 && l.acquiredAt != 0 {
 			holdNs = nowNs() - l.acquiredAt
@@ -409,12 +437,14 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 		return true
 	}
 	l.wantUpgrade = true
+	simhook.Note(simhook.CxUpgradeWant, l, int64(l.readCount))
 	l.revokeBiasLocked()
 	for l.readCount != 0 || l.biasReadersVisible() {
 		l.wait(t)
 	}
 	l.noteBiasDrainedLocked()
 	l.stats.upgrades.Add(1)
+	simhook.Note(simhook.CxUpgradeGrant, l, 0)
 	// The hold continues across the upgrade: if this thread was the only
 	// reader its occupancy stamp carries over; if other readers ended the
 	// occupancy while we drained, restart the stamp for the write hold.
@@ -423,6 +453,7 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 	}
 	l.interlock.Unlock()
 	l.class.Upgraded(true)
+	simhook.Yield(simhook.CxAcquired, l)
 	return false
 }
 
@@ -431,14 +462,21 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 // recommends write-then-downgrade over read-then-upgrade for exactly this
 // reason.
 func (l *Lock) WriteToRead(t *sched.Thread) {
+	simhook.Yield(simhook.CxDowngrade, l)
 	l.interlock.Lock()
 	l.readCount++
 	if t != nil && l.holder == t && l.depth > 0 {
+		// Recursion pop: the holder keeps write standing and gains a read
+		// hold, so for the shadow model this is a recursive read grant.
 		l.depth--
+		simhook.Note(simhook.CxReleaseRecursive, l, int64(l.depth))
+		simhook.Note(simhook.CxReadGrantRec, l, int64(l.readCount))
 	} else if l.wantUpgrade {
 		l.wantUpgrade = false
+		simhook.Note(simhook.CxDowngradeDone, l, int64(l.readCount))
 	} else {
 		l.wantWrite = false
+		simhook.Note(simhook.CxDowngradeDone, l, int64(l.readCount))
 	}
 	l.stats.downgrades.Add(1)
 	// The hold continues in read mode; the occupancy stamp carries over.
@@ -451,6 +489,7 @@ func (l *Lock) WriteToRead(t *sched.Thread) {
 // either by a single writer or by one or more readers, thus lock_done can
 // always determine how the lock is held and release it appropriately."
 func (l *Lock) Done(t *sched.Thread) {
+	simhook.Yield(simhook.CxDone, l)
 	if l.doneFast(t) {
 		obReleased(l, t)
 		return
@@ -461,14 +500,18 @@ func (l *Lock) Done(t *sched.Thread) {
 	case l.readCount > 0:
 		l.readCount--
 		endHold = l.readCount == 0
+		simhook.Note(simhook.CxReleaseRead, l, int64(l.readCount))
 	case t != nil && l.holder == t && l.depth > 0:
 		l.depth--
+		simhook.Note(simhook.CxReleaseRecursive, l, int64(l.depth))
 	case l.wantUpgrade:
 		l.wantUpgrade = false
 		endHold = true
+		simhook.Note(simhook.CxReleaseUpgrade, l, 0)
 	case l.wantWrite:
 		l.wantWrite = false
 		endHold = true
+		simhook.Note(simhook.CxReleaseWrite, l, 0)
 	default:
 		l.interlock.Unlock()
 		panic("cxlock: lock_done on lock not held")
@@ -487,6 +530,10 @@ func (l *Lock) Done(t *sched.Thread) {
 // TryRead makes a single attempt to acquire the lock for reading
 // (lock_try_read); it never spins or blocks.
 func (l *Lock) TryRead(t *sched.Thread) bool {
+	simhook.Yield(simhook.CxTryRead, l)
+	if simhook.ForceFail(simhook.CxTryRead, l) {
+		return false
+	}
 	if l.readFast(t) {
 		obAcquired(l, t)
 		return true
@@ -497,6 +544,7 @@ func (l *Lock) TryRead(t *sched.Thread) bool {
 	if t != nil && l.holder == t {
 		l.readCount++
 		l.stats.reads.Add(1)
+		simhook.Note(simhook.CxReadGrantRec, l, int64(l.readCount))
 		if instr && l.acquiredAt == 0 {
 			l.acquiredAt = nowNs()
 		}
@@ -509,6 +557,7 @@ func (l *Lock) TryRead(t *sched.Thread) bool {
 	}
 	l.readCount++
 	l.stats.reads.Add(1)
+	simhook.Note(simhook.CxReadGrant, l, int64(l.readCount))
 	l.maybeRearmLocked()
 	if instr && l.readCount == 1 {
 		l.acquiredAt = nowNs()
@@ -522,6 +571,10 @@ func (l *Lock) TryRead(t *sched.Thread) bool {
 // (lock_try_write); it never spins or blocks. In particular it returns
 // false if the lock is currently held for writing.
 func (l *Lock) TryWrite(t *sched.Thread) bool {
+	simhook.Yield(simhook.CxTryWrite, l)
+	if simhook.ForceFail(simhook.CxTryWrite, l) {
+		return false
+	}
 	instr := l.instrOn()
 	l.interlock.Lock()
 	defer l.interlock.Unlock()
@@ -530,6 +583,7 @@ func (l *Lock) TryWrite(t *sched.Thread) bool {
 			return false // downgraded holder may not re-acquire for write
 		}
 		l.depth++
+		simhook.Note(simhook.CxRecurseGrant, l, int64(l.depth))
 		defer obAcquired(l, t)
 		defer l.recordAcquired(false, 0)
 		return true
@@ -550,6 +604,7 @@ func (l *Lock) TryWrite(t *sched.Thread) bool {
 	l.noteBiasDrainedLocked()
 	l.wantWrite = true
 	l.stats.writes.Add(1)
+	simhook.Note(simhook.CxWriteGrant, l, 0)
 	if instr {
 		l.acquiredAt = nowNs()
 	}
@@ -568,6 +623,10 @@ func (l *Lock) TryWrite(t *sched.Thread) bool {
 // defect; the paper notes the bug likely survived because no Mach kernel
 // used this routine.)
 func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
+	simhook.Yield(simhook.CxTryUpgrade, l)
+	if simhook.ForceFail(simhook.CxTryUpgrade, l) {
+		return false // read hold intact, per the TryReadToWrite contract
+	}
 	l.interlock.Lock()
 	// As in ReadToWrite: move a fast-path hold into readCount first.
 	l.migrateBiasHoldLocked(t)
@@ -578,6 +637,8 @@ func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
 		}
 		l.readCount--
 		l.depth++
+		simhook.Note(simhook.CxReleaseRead, l, int64(l.readCount))
+		simhook.Note(simhook.CxRecurseGrant, l, int64(l.depth))
 		l.interlock.Unlock()
 		return true
 	}
@@ -587,6 +648,7 @@ func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
 	}
 	l.readCount--
 	l.wantUpgrade = true
+	simhook.Note(simhook.CxUpgradeWant, l, int64(l.readCount))
 	l.revokeBiasLocked()
 	for l.readCount != 0 || l.biasReadersVisible() {
 		if l.Mach25UpgradeBug && t != nil {
@@ -603,11 +665,13 @@ func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
 	}
 	l.noteBiasDrainedLocked()
 	l.stats.upgrades.Add(1)
+	simhook.Note(simhook.CxUpgradeGrant, l, 0)
 	if l.instrOn() && l.acquiredAt == 0 {
 		l.acquiredAt = nowNs()
 	}
 	l.interlock.Unlock()
 	l.class.Upgraded(true)
+	simhook.Yield(simhook.CxAcquired, l)
 	return true
 }
 

@@ -1,0 +1,119 @@
+package cxlock
+
+// Fuzz target over Options combinations: the fuzzer picks the lock's
+// option bits (Sleep / Recursive / ReaderBias / fault injection) and an
+// operation string, which is split across two threads and interpreted
+// against each thread's current hold state so every operation is legal.
+// The sequences then run under seeded-random and bounded-DFS schedule
+// exploration; any shadow-model violation, deadlock, or unreleased hold
+// fails the input.
+
+import (
+	"testing"
+
+	"machlock/internal/machsim"
+	"machlock/internal/sched"
+)
+
+// holdNone/holdRead/holdWrite track one fuzz thread's standing on the lock.
+const (
+	holdNone = iota
+	holdRead
+	holdWrite
+)
+
+// fuzzOps interprets seq against l, keeping every call legal for the
+// thread's current hold state and releasing whatever is still held at the
+// end. upgradeFailed counts ReadToWrite losses (the hold is gone, per the
+// contract).
+func fuzzOps(l *Lock, t *sched.Thread, seq []byte) {
+	hold := holdNone
+	for _, op := range seq {
+		switch hold {
+		case holdNone:
+			switch op % 4 {
+			case 0:
+				l.Read(t)
+				hold = holdRead
+			case 1:
+				l.Write(t)
+				hold = holdWrite
+			case 2:
+				if l.TryRead(t) {
+					hold = holdRead
+				}
+			case 3:
+				if l.TryWrite(t) {
+					hold = holdWrite
+				}
+			}
+		case holdRead:
+			switch op % 3 {
+			case 0:
+				l.Done(t)
+				hold = holdNone
+			case 1:
+				if l.ReadToWrite(t) {
+					hold = holdNone // failed upgrade released the hold
+				} else {
+					hold = holdWrite
+				}
+			case 2:
+				if l.TryReadToWrite(t) {
+					hold = holdWrite
+				} // on false the read hold is intact
+			}
+		case holdWrite:
+			if op%2 == 0 {
+				l.Done(t)
+				hold = holdNone
+			} else {
+				l.WriteToRead(t)
+				hold = holdRead
+			}
+		}
+	}
+	if hold != holdNone {
+		l.Done(t)
+	}
+}
+
+func FuzzSimCxlockOptions(f *testing.F) {
+	f.Add(byte(0), []byte{0, 1, 0, 1})
+	f.Add(byte(1), []byte{1, 1, 0, 0})        // Sleep
+	f.Add(byte(4), []byte{0, 0, 2, 1, 0, 1})  // ReaderBias
+	f.Add(byte(5), []byte{0, 1, 1, 2, 0})     // Sleep + ReaderBias
+	f.Add(byte(8), []byte{2, 3, 0, 2, 1})     // fault injection on the tries
+	f.Add(byte(12), []byte{0, 2, 1, 3, 0, 2}) // ReaderBias + faults
+	f.Fuzz(func(t *testing.T, optBits byte, ops []byte) {
+		if len(ops) > 12 {
+			ops = ops[:12]
+		}
+		opt := Options{
+			Sleep:      optBits&1 != 0,
+			Recursive:  optBits&2 != 0,
+			ReaderBias: optBits&4 != 0,
+			Name:       "fuzz",
+		}
+		simOpt := machsim.Options{FaultTries: optBits&8 != 0}
+		var seed int64 = 1
+		for _, b := range ops {
+			seed = seed*131 + int64(b)
+		}
+		seed += int64(optBits) << 32
+		scenario := func(s *machsim.Sim) {
+			l := NewWith(opt)
+			s.Label(l, "fuzz")
+			half := (len(ops) + 1) / 2
+			s.Spawn("a", func(t *sched.Thread) { fuzzOps(l, t, ops[:half]) })
+			s.Spawn("b", func(t *sched.Thread) { fuzzOps(l, t, ops[half:]) })
+			s.AtEnd(func(fail func(string, ...any)) {
+				if l.HeldForWrite() || l.Readers() != 0 {
+					fail("lock left held: write=%v readers=%d", l.HeldForWrite(), l.Readers())
+				}
+			})
+		}
+		machsim.Check(t, machsim.Random(scenario, 4, seed, simOpt))
+		machsim.Check(t, machsim.Explore(scenario, machsim.DFSConfig{Preemptions: 1, MaxRuns: 64}, simOpt))
+	})
+}

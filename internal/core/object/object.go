@@ -25,6 +25,7 @@ import (
 
 	"machlock/internal/core/refcount"
 	"machlock/internal/core/splock"
+	"machlock/internal/machsim/simhook"
 	"machlock/internal/trace"
 )
 
@@ -81,17 +82,25 @@ func (o *Object) Lock() {
 		panic(fmt.Sprintf("object: %s: lock of destroyed object (missing reference?)", o.name))
 	}
 	o.lock.Lock() //machlock:holds — wrapper: the hold escapes to Lock's caller
+	simhook.Note(simhook.ObjLock, o, int64(o.refs.Refs()))
 }
 
 // Unlock unlocks the object's simple lock.
-func (o *Object) Unlock() { o.lock.Unlock() }
+func (o *Object) Unlock() {
+	simhook.Note(simhook.ObjUnlock, o, 0)
+	o.lock.Unlock()
+}
 
 // TryLock makes a single attempt at the object's lock.
 func (o *Object) TryLock() bool {
 	if o.destroyed.Load() {
 		panic(fmt.Sprintf("object: %s: lock of destroyed object", o.name))
 	}
-	return o.lock.TryLock()
+	if !o.lock.TryLock() { //machlock:holds — wrapper: a successful try escapes to TryLock's caller
+		return false
+	}
+	simhook.Note(simhook.ObjLock, o, int64(o.refs.Refs()))
+	return true
 }
 
 // Active reports whether the object has not been deactivated. The object
@@ -116,6 +125,7 @@ func (o *Object) Deactivate() bool {
 		return false
 	}
 	o.active = false
+	simhook.Note(simhook.ObjDeactivate, o, 0)
 	o.class.Deactivated()
 	return true
 }
@@ -158,6 +168,7 @@ func (o *Object) Release(destroy func()) bool {
 	// Count reached zero: no pointers, no operations in progress, no way
 	// to invoke new operations. Destroy.
 	o.destroyed.Store(true)
+	simhook.Note(simhook.ObjDestroyed, o, 0)
 	o.class.CensusDec()
 	if destroy != nil {
 		destroy()

@@ -1,0 +1,114 @@
+package object
+
+// Machsim suite for the kernel-object discipline of Section 9: operate
+// vs. deactivate vs. release explored over schedules, with the harness's
+// relock-requires-reference and refcount models watching every boundary.
+
+import (
+	"testing"
+
+	"machlock/internal/machsim"
+	"machlock/internal/sched"
+)
+
+// TestSimDeactivationDiscipline races an operator (re-checking liveness
+// after every relock, per the no-caching rule) against a terminator that
+// deactivates and drops the creator reference. On every schedule the
+// destroy must run exactly once, after both sides' references are gone.
+func TestSimDeactivationDiscipline(t *testing.T) {
+	scenario := func(s *machsim.Sim) {
+		o := &Object{}
+		o.Init("victim")
+		s.Label(o, "victim")
+		o.TakeRef() // the operator's own reference, taken before the race
+		destroyed := 0
+		operated := 0
+		s.Spawn("op", func(_ *sched.Thread) {
+			o.Lock()
+			if o.CheckActive() == nil {
+				operated++
+			}
+			o.Unlock()
+			o.TakeRef() // covered by the reference we already hold
+			// Relock: liveness must be re-decided, nothing cached across
+			// the unlock — the terminator may have run in between.
+			o.Lock()
+			stillActive := o.CheckActive() == nil
+			o.Unlock()
+			_ = stillActive
+			o.Release(func() { destroyed++ })
+			o.Release(func() { destroyed++ })
+		})
+		s.Spawn("term", func(_ *sched.Thread) {
+			o.Lock()
+			if !o.Deactivate() {
+				s.Fail("terminator lost a deactivation race nobody else entered")
+			}
+			o.Unlock()
+			o.Release(func() { destroyed++ }) // the creator's reference
+		})
+		s.AtEnd(func(fail func(string, ...any)) {
+			if destroyed != 1 {
+				fail("destroy ran %d times, want exactly once", destroyed)
+			}
+			if !o.Destroyed() {
+				fail("object not destroyed after last release")
+			}
+		})
+	}
+	res := machsim.Explore(scenario, machsim.DFSConfig{Preemptions: 2, MaxRuns: 1500}, machsim.Options{})
+	machsim.Check(t, res)
+}
+
+// TestSimReleaseRacesTakeRef: two holders, one cloning an extra reference
+// and releasing twice while the other releases its own — the count must
+// walk down monotonically to zero with no resurrection, which the model's
+// ref-skew/ref-resurrect checkers verify at every transition.
+func TestSimReleaseRacesTakeRef(t *testing.T) {
+	scenario := func(s *machsim.Sim) {
+		o := &Object{}
+		o.Init("counted")
+		s.Label(o, "counted")
+		o.TakeRef() // second holder's reference
+		destroyed := 0
+		s.Spawn("cloner", func(_ *sched.Thread) {
+			o.TakeRef()
+			o.Release(func() { destroyed++ })
+			o.Release(func() { destroyed++ })
+		})
+		s.Spawn("dropper", func(_ *sched.Thread) {
+			o.Release(func() { destroyed++ }) // the creator's reference
+		})
+		s.AtEnd(func(fail func(string, ...any)) {
+			if destroyed != 1 || !o.Destroyed() {
+				fail("destroyed=%d (want 1), Destroyed=%v", destroyed, o.Destroyed())
+			}
+		})
+	}
+	res := machsim.Explore(scenario, machsim.DFSConfig{Preemptions: 2, MaxRuns: 1500}, machsim.Options{})
+	machsim.Check(t, res)
+}
+
+// TestSimLockAfterDestroyCaught: relocking an object whose last reference
+// is gone is the use-after-free of the paper's discipline. The substrate
+// panics; the harness must convert that into a reported violation with
+// the offending schedule, not a crashed test process.
+func TestSimLockAfterDestroyCaught(t *testing.T) {
+	scenario := func(s *machsim.Sim) {
+		o := &Object{}
+		o.Init("gone")
+		s.Label(o, "gone")
+		s.Spawn("stale", func(_ *sched.Thread) {
+			o.Release(nil) // the last reference: storage is gone
+			o.Lock()       // protocol violation
+			o.Unlock()
+		})
+	}
+	res := machsim.Explore(scenario, machsim.DFSConfig{}, machsim.Options{})
+	if !res.Failed() {
+		t.Fatalf("lock-after-destroy went unreported: %s", res.Summary())
+	}
+	if res.Violations[0].Checker != "panic" {
+		t.Fatalf("expected the substrate panic to be captured, got %v", res.Violations[0])
+	}
+}

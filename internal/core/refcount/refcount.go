@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"machlock/internal/machsim/simhook"
 	"machlock/internal/trace"
 )
 
@@ -64,20 +65,24 @@ func (c *Count) Refs() int32 { return c.n }
 // cloning a dead (zero) count is the use-after-free the whole protocol
 // exists to prevent, and panics.
 func (c *Count) Clone() {
+	simhook.Yield(simhook.RefClone, c)
 	if c.n <= 0 {
 		panic(fmt.Sprintf("refcount: cloning a dead reference (count %d)", c.n))
 	}
 	c.n++
+	simhook.Note(simhook.RefClone, c, int64(c.n))
 	c.class.RefClone(int64(c.n))
 }
 
 // Release drops one reference, returning true when the count reaches zero
 // and the caller must destroy the object. Over-release panics.
 func (c *Count) Release() bool {
+	simhook.Yield(simhook.RefRelease, c)
 	if c.n <= 0 {
 		panic(fmt.Sprintf("refcount: releasing unheld reference (count %d)", c.n))
 	}
 	c.n--
+	simhook.Note(simhook.RefRelease, c, int64(c.n))
 	c.class.RefRelease(int64(c.n))
 	return c.n == 0
 }
@@ -102,19 +107,23 @@ func (a *Atomic) Refs() int32 { return a.n.Load() }
 
 // Clone increments the count, panicking if it observes a dead count.
 func (a *Atomic) Clone() {
+	simhook.Yield(simhook.RefClone, a)
 	n := a.n.Add(1)
 	if n <= 1 {
 		panic("refcount: cloning a dead reference (atomic)")
 	}
+	simhook.Note(simhook.RefClone, a, int64(n))
 	a.class.RefClone(int64(n))
 }
 
 // Release decrements, returning true at zero.
 func (a *Atomic) Release() bool {
+	simhook.Yield(simhook.RefRelease, a)
 	n := a.n.Add(-1)
 	if n < 0 {
 		panic("refcount: releasing unheld reference (atomic)")
 	}
+	simhook.Note(simhook.RefRelease, a, int64(n))
 	a.class.RefRelease(int64(n))
 	return n == 0
 }

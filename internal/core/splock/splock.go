@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"machlock/internal/hw"
+	"machlock/internal/machsim/simhook"
 	"machlock/internal/trace"
 )
 
@@ -77,19 +78,29 @@ func (l *Lock) SetClass(c *trace.Class) { l.class = c }
 // The first attempt is an unconditional test-and-set; only if that fails
 // does the acquirer fall back to test-and-test-and-set spinning.
 func (l *Lock) Lock() {
+	simhook.Yield(simhook.SpLock, l)
 	if l.class.On() {
 		l.lockTraced()
 		return
 	}
 	if atomic.CompareAndSwapInt32(&l.state, 0, 1) {
+		simhook.Note(simhook.SpAcquired, l, 0)
 		return
 	}
 	for {
 		if atomic.LoadInt32(&l.state) == 0 &&
 			atomic.CompareAndSwapInt32(&l.state, 0, 1) {
+			simhook.Note(simhook.SpAcquired, l, 0)
 			return
 		}
-		runtime.Gosched()
+		if simhook.Enabled() {
+			// Under machsim a failed spin iteration is a voluntary yield:
+			// the harness switches to another virtual thread (eventually
+			// the holder) instead of burning a host-scheduler pass.
+			simhook.Yield(simhook.SpSpin, l)
+		} else {
+			runtime.Gosched()
+		}
 	}
 }
 
@@ -99,6 +110,7 @@ func (l *Lock) lockTraced() {
 	if atomic.CompareAndSwapInt32(&l.state, 0, 1) {
 		l.acquiredAt = time.Now().UnixNano()
 		l.class.Acquired(false, 0)
+		simhook.Note(simhook.SpAcquired, l, 0)
 		return
 	}
 	start := time.Now()
@@ -110,15 +122,24 @@ func (l *Lock) lockTraced() {
 			l.acquiredAt = time.Now().UnixNano()
 			l.class.DoneWaiting(waitNs)
 			l.class.Acquired(true, waitNs)
+			simhook.Note(simhook.SpAcquired, l, 0)
 			return
 		}
-		runtime.Gosched()
+		if simhook.Enabled() {
+			simhook.Yield(simhook.SpSpin, l)
+		} else {
+			runtime.Gosched()
+		}
 	}
 }
 
 // Unlock releases the lock (simple_unlock). Unlocking an unlocked lock
 // panics: it always indicates a protocol error.
 func (l *Lock) Unlock() {
+	// The yield happens while the lock is still held: machsim explores
+	// schedules where a holder is preempted inside its critical section,
+	// which is exactly when waiters pile up on the interlock.
+	simhook.Yield(simhook.SpUnlock, l)
 	if l.class != nil {
 		// Consume the acquisition stamp unconditionally so a toggle of
 		// tracing mid-hold cannot leave a stale timestamp behind.
@@ -131,11 +152,13 @@ func (l *Lock) Unlock() {
 			panic("splock: unlock of unlocked simple lock")
 		}
 		l.class.Released(holdNs)
+		simhook.Note(simhook.SpReleased, l, 0)
 		return
 	}
 	if atomic.SwapInt32(&l.state, 0) != 1 {
 		panic("splock: unlock of unlocked simple lock")
 	}
+	simhook.Note(simhook.SpReleased, l, 0)
 }
 
 // TryLock makes a single attempt to acquire the lock (simple_lock_try),
@@ -143,9 +166,14 @@ func (l *Lock) Unlock() {
 // to acquire a lock in situations where the unconditional acquisition of
 // the lock could cause deadlock" — the backout protocols of Section 5.
 func (l *Lock) TryLock() bool {
+	simhook.Yield(simhook.SpTry, l)
+	if simhook.ForceFail(simhook.SpTry, l) {
+		return false
+	}
 	if !atomic.CompareAndSwapInt32(&l.state, 0, 1) {
 		return false
 	}
+	simhook.Note(simhook.SpAcquired, l, 0)
 	if l.class.On() {
 		l.acquiredAt = time.Now().UnixNano()
 		l.class.Acquired(false, 0)

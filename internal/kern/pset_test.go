@@ -136,7 +136,12 @@ func TestDestroyRacesAssignProcessorNoStranding(t *testing.T) {
 	// migration phase, so whichever side wins, the processor ends up in
 	// the default set (assigner lost) or gets swept back there (Destroy
 	// ran after a completed attach).
-	for i := 0; i < 100; i++ {
+	//
+	// This is the raw -race smoke version; the schedule-exhaustive version
+	// is TestSimPsetDestroyVsAssign in sim_test.go, and
+	// TestSimStrandingFoundInPreFixProtocol proves the harness finds the
+	// race when the covering lock is absent.
+	for i := 0; i < 30; i++ {
 		m := hw.New(2)
 		h := NewHost(m)
 		s := h.NewSet("doomed")

@@ -1,0 +1,148 @@
+package kern
+
+// Machsim suite for the processor-allocation subsystem: the PR-4 era
+// Destroy-vs-AssignProcessor stranding race, reproduced deterministically.
+//
+// Two tests bracket the fix. TestSimPsetDestroyVsAssign explores the REAL
+// protocol (assignment lock held across Destroy's whole migration phase)
+// and requires that no schedule strands a processor. TestSimStranding-
+// FoundInPreFixProtocol re-implements the pre-fix protocol shape — the
+// liveness check and the attach are separated by a window no lock covers —
+// and requires the bounded DFS to FIND the stranding; that is the
+// harness's regression proof that it would have caught the original bug.
+
+import (
+	"testing"
+
+	"machlock/internal/core/object"
+	"machlock/internal/core/splock"
+	"machlock/internal/hw"
+	"machlock/internal/machsim"
+	"machlock/internal/sched"
+)
+
+// TestSimPsetDestroyVsAssign is the machsim version of
+// TestDestroyRacesAssignProcessorNoStranding (which stays as a short raw
+// -race smoke test): AssignProcessor races Destroy over explored and
+// seeded-random schedules, and on every one the processor must end up in
+// the default set with the destroyed set empty.
+func TestSimPsetDestroyVsAssign(t *testing.T) {
+	scenario := func(s *machsim.Sim) {
+		m := hw.New(2)
+		h := NewHost(m)
+		set := h.NewSet("doomed")
+		set.TakeRef() // keep the structure observable past Destroy
+		p := h.Processor(0)
+		s.Label(set, "doomed")
+		s.Spawn("assigner", func(_ *sched.Thread) {
+			_ = h.AssignProcessor(p, set) // may lose to Destroy
+		})
+		s.Spawn("destroyer", func(_ *sched.Thread) {
+			if err := set.Destroy(); err != nil {
+				s.Fail("destroy: %v", err)
+			}
+		})
+		s.AtEnd(func(fail func(string, ...any)) {
+			if got := p.AssignedSet(); got != h.DefaultSet() {
+				fail("processor stranded in %q", got.Name())
+			}
+			if n := len(set.Processors(nil)); n != 0 {
+				fail("destroyed set still holds %d processors", n)
+			}
+		})
+	}
+	machsim.Check(t, machsim.Random(scenario, 100, 23, machsim.Options{}))
+	machsim.Check(t, machsim.Explore(scenario, machsim.DFSConfig{Preemptions: 1, MaxRuns: 400}, machsim.Options{}))
+}
+
+// looseSet/looseAssign/looseDestroy re-implement the PRE-FIX assignment
+// protocol in miniature: the assigner settles liveness under the object
+// lock, then attaches under the members lock — with nothing held across
+// the gap, exactly the window the committed fix closes by holding the
+// host assignment lock from the liveness check through the attach (and
+// across Destroy's whole migration phase).
+type looseSet struct {
+	object.Object
+	members splock.Lock
+	procs   []*looseProc
+}
+
+type looseProc struct {
+	set *looseSet
+}
+
+func looseAssign(p *looseProc, s *looseSet) error {
+	s.Lock()
+	if err := s.CheckActive(); err != nil {
+		s.Unlock()
+		return err
+	}
+	s.Unlock()
+	// BUG (pre-fix shape): the liveness verdict is stale from here on. A
+	// destroyer can deactivate AND run its whole sweep inside this window,
+	// after which the attach below strands the processor.
+	s.members.Lock()
+	s.procs = append(s.procs, p)
+	p.set = s
+	s.members.Unlock()
+	return nil
+}
+
+func looseDestroy(s, def *looseSet) {
+	s.Lock()
+	s.Deactivate()
+	s.Unlock()
+	s.members.Lock()
+	for _, p := range s.procs {
+		p.set = def
+		def.procs = append(def.procs, p)
+	}
+	s.procs = nil
+	s.members.Unlock()
+}
+
+// TestSimStrandingFoundInPreFixProtocol: bounded DFS with a single
+// preemption must find the stranding in the pre-fix protocol, and the
+// reported schedule must replay to the same violation. This is the
+// acceptance check that the harness re-finds the pset race when the PR-4
+// fix is absent.
+func TestSimStrandingFoundInPreFixProtocol(t *testing.T) {
+	scenario := func(s *machsim.Sim) {
+		def := &looseSet{}
+		def.Init("default")
+		doomed := &looseSet{}
+		doomed.Init("doomed")
+		p := &looseProc{set: def}
+		def.procs = []*looseProc{p}
+		s.Label(doomed, "doomed")
+		s.Spawn("assigner", func(_ *sched.Thread) {
+			if looseAssign(p, doomed) == nil {
+				// In the broken protocol the assigner believes it moved p
+				// out of def; mirror the detach so the sweep is the only
+				// thing that can save it.
+				def.members.Lock()
+				def.procs = nil
+				def.members.Unlock()
+			}
+		})
+		s.Spawn("destroyer", func(_ *sched.Thread) {
+			looseDestroy(doomed, def)
+		})
+		s.AtEnd(func(fail func(string, ...any)) {
+			if p.set == doomed || len(doomed.procs) != 0 {
+				fail("processor stranded in destroyed set (procs=%d)", len(doomed.procs))
+			}
+		})
+	}
+	res := machsim.Explore(scenario, machsim.DFSConfig{Preemptions: 1, MaxRuns: 2000}, machsim.Options{})
+	if !res.Failed() {
+		t.Fatalf("bounded DFS missed the pre-fix stranding race: %s", res.Summary())
+	}
+	if res.Violations[0].Checker != "at-end" {
+		t.Fatalf("expected the at-end stranding check to fire, got %v", res.Violations[0])
+	}
+	rep := machsim.Replay(scenario, res.Schedule, machsim.Options{})
+	if !rep.Failed() || rep.Violations[0].Checker != "at-end" {
+		t.Fatalf("stranding schedule %q did not replay: %+v", res.Schedule, rep.Violations)
+	}
+}

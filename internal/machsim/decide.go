@@ -1,0 +1,220 @@
+package machsim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// decider chooses among candidate tokens at each decision point. toks[0]
+// is the deterministic default (continue current / pass the try / the
+// round-robin successor); costs give the preemption price of each
+// alternative for the bounded-DFS engine. A decider returns the chosen
+// index, or a negative value after recording a violation on s (replay
+// divergence), which aborts the run.
+type decider interface {
+	choose(s *Sim, toks []string, costs []int) int
+}
+
+// ---- splitmix64: a tiny, Go-version-independent PRNG so seeds replay
+// identically everywhere (math/rand's stream is not a compatibility
+// promise). ----
+
+type prng struct{ x uint64 }
+
+func (p *prng) next() uint64 {
+	p.x += 0x9E3779B97F4A7C15
+	z := p.x
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (p *prng) n(n int) int { return int(p.next() % uint64(n)) }
+
+// randomDecider is the seeded pseudo-random walk.
+type randomDecider struct{ rng prng }
+
+func (d *randomDecider) choose(s *Sim, toks []string, costs []int) int {
+	return d.rng.n(len(toks))
+}
+
+// replayDecider replays a recorded schedule token by token. Any mismatch
+// between the recorded token and the current candidates means the system
+// under test diverged (a nondeterminism bug in the harness seam or the
+// scenario) and is reported as a violation.
+type replayDecider struct {
+	toks []string
+	pos  int
+}
+
+func (d *replayDecider) choose(s *Sim, toks []string, costs []int) int {
+	if d.pos >= len(d.toks) {
+		s.violate("replay", fmt.Sprintf(
+			"schedule exhausted after %d tokens but the run wants another decision among %v",
+			len(d.toks), toks))
+		return -1
+	}
+	want := d.toks[d.pos]
+	d.pos++
+	for i, tok := range toks {
+		if tok == want {
+			return i
+		}
+	}
+	s.violate("replay", fmt.Sprintf(
+		"divergence at token %d: schedule says %q, candidates are %v",
+		d.pos-1, want, toks))
+	return -1
+}
+
+// dfsBranch is one unexplored alternative: replay prefix, take it, then
+// run defaults to completion.
+type dfsBranch struct {
+	prefix   []string
+	preempts int
+}
+
+// dfsDecider drives the bounded-preemption depth-first search. Each run
+// replays a forced prefix, and at the frontier takes defaults while
+// pushing every affordable alternative onto the stack for later runs.
+type dfsDecider struct {
+	budget   int
+	stack    []dfsBranch
+	forced   []string
+	preempts int
+	depth    int
+	taken    []string
+}
+
+func (d *dfsDecider) beginRun(br dfsBranch) {
+	d.forced = br.prefix
+	d.preempts = br.preempts
+	d.depth = 0
+	d.taken = append(d.taken[:0], br.prefix...)
+}
+
+func (d *dfsDecider) choose(s *Sim, toks []string, costs []int) int {
+	if d.depth < len(d.forced) {
+		want := d.forced[d.depth]
+		d.depth++
+		for i, tok := range toks {
+			if tok == want {
+				return i
+			}
+		}
+		s.violate("dfs", fmt.Sprintf(
+			"nondeterministic replay at decision %d: prefix says %q, candidates are %v",
+			d.depth-1, want, toks))
+		return -1
+	}
+	// Frontier: schedule the alternatives, take the default.
+	for i := 1; i < len(toks); i++ {
+		if d.preempts+costs[i] <= d.budget {
+			prefix := make([]string, len(d.taken)+1)
+			copy(prefix, d.taken)
+			prefix[len(d.taken)] = toks[i]
+			d.stack = append(d.stack, dfsBranch{prefix: prefix, preempts: d.preempts + costs[i]})
+		}
+	}
+	d.depth++
+	d.taken = append(d.taken, toks[0])
+	return 0
+}
+
+// ---- engines ----
+
+// Replay runs the scenario once under a recorded schedule and returns the
+// outcome. The schedule must have been produced by the same scenario and
+// Options (fault decisions are part of the token stream).
+func Replay(scenario Scenario, schedule string, opt Options) Result {
+	s := newSim(scenario, &replayDecider{toks: strings.Split(schedule, ",")}, opt)
+	s.runOnce()
+	r := resultOf(s, 1)
+	r.Schedule = s.scheduleString()
+	return r
+}
+
+// Random explores `runs` seeded pseudo-random schedules, stopping at the
+// first violation. Run i uses seed+i, so a failure's Seed pinpoints its
+// exact walk; setting MACHSIM_SEED=<seed> overrides the base seed and runs
+// that single walk, reproducing the failure byte for byte.
+func Random(scenario Scenario, runs int, seed int64, opt Options) Result {
+	if env := os.Getenv("MACHSIM_SEED"); env != "" {
+		if v, err := strconv.ParseInt(env, 10, 64); err == nil {
+			seed, runs = v, 1
+		}
+	}
+	var acc Result
+	for i := 0; i < runs; i++ {
+		runSeed := seed + int64(i)
+		s := newSim(scenario, &randomDecider{rng: prng{x: uint64(runSeed)}}, opt)
+		s.runOnce()
+		acc.Runs++
+		acc.Steps += int64(s.steps)
+		if s.inconclusive {
+			acc.Inconclusive++
+		}
+		if len(s.violations) > 0 {
+			acc.Seed = runSeed
+			acc.Schedule = s.scheduleString()
+			acc.Violations = s.violations
+			acc.Log = append([]string(nil), s.events...)
+			return acc
+		}
+	}
+	acc.Seed = seed
+	return acc
+}
+
+// DFSConfig bounds the Explore engine.
+type DFSConfig struct {
+	// Preemptions is the involuntary-context-switch budget per schedule
+	// (CHESS's preemption bound). Fault injections and spurious wakeups
+	// spend from the same budget.
+	Preemptions int
+	// MaxRuns caps the number of schedules explored; 0 means 10000.
+	MaxRuns int
+}
+
+// Explore enumerates schedules depth-first within a preemption budget,
+// stopping at the first violation. If it returns with Exhausted set, every
+// schedule within the budget was run — a proof of the checked properties
+// over that preemption bound.
+func Explore(scenario Scenario, cfg DFSConfig, opt Options) Result {
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = 10000
+	}
+	d := &dfsDecider{budget: cfg.Preemptions}
+	br := dfsBranch{}
+	var acc Result
+	for {
+		d.beginRun(br)
+		s := newSim(scenario, d, opt)
+		s.runOnce()
+		acc.Runs++
+		acc.Steps += int64(s.steps)
+		if s.inconclusive {
+			acc.Inconclusive++
+		}
+		if len(s.violations) > 0 {
+			acc.Schedule = s.scheduleString()
+			acc.Violations = s.violations
+			acc.Log = append([]string(nil), s.events...)
+			return acc
+		}
+		if len(d.stack) == 0 {
+			acc.Exhausted = acc.Inconclusive == 0
+			return acc
+		}
+		if acc.Runs >= cfg.MaxRuns {
+			return acc
+		}
+		br = d.stack[len(d.stack)-1]
+		d.stack = d.stack[:len(d.stack)-1]
+	}
+}

@@ -1,0 +1,264 @@
+package machsim
+
+import (
+	"testing"
+
+	"machlock/internal/core/cxlock"
+	"machlock/internal/core/refcount"
+	"machlock/internal/core/splock"
+	"machlock/internal/sched"
+)
+
+// TestSimSplockMutualExclusion explores a classic two-thread counter under
+// a simple lock exhaustively and expects no violations: the lock works, and
+// the harness's own mutual-exclusion model agrees.
+func TestSimSplockMutualExclusion(t *testing.T) {
+	scenario := func(s *Sim) {
+		l := &splock.Lock{}
+		s.Label(l, "counter.lock")
+		n := 0
+		body := func(_ *sched.Thread) {
+			for i := 0; i < 2; i++ {
+				l.Lock()
+				n++
+				l.Unlock()
+			}
+		}
+		s.Spawn("incA", body)
+		s.Spawn("incB", body)
+		s.AtEnd(func(fail func(string, ...any)) {
+			if n != 4 {
+				fail("lost update: n=%d, want 4", n)
+			}
+		})
+	}
+	res := Explore(scenario, DFSConfig{Preemptions: 2}, Options{})
+	Check(t, res)
+	if !res.Exhausted {
+		t.Fatalf("expected the bounded space to be exhausted: %s", res.Summary())
+	}
+	if res.Runs < 2 {
+		t.Fatalf("expected multiple schedules, got %d", res.Runs)
+	}
+}
+
+// TestSimFindsLostUpdate gives the harness a deliberately racy counter (a
+// read-modify-write spanning a scheduling point) and requires that bounded
+// DFS finds the lost update. A harness that cannot catch this planted bug
+// proves nothing about the real protocols.
+func TestSimFindsLostUpdate(t *testing.T) {
+	scenario := func(s *Sim) {
+		l := &splock.Lock{}
+		n := 0
+		body := func(_ *sched.Thread) {
+			v := n    // racy load...
+			l.Lock()  // ...with scheduling points before...
+			l.Unlock()
+			n = v + 1 // ...the racy store
+		}
+		s.Spawn("racerA", body)
+		s.Spawn("racerB", body)
+		s.AtEnd(func(fail func(string, ...any)) {
+			if n != 2 {
+				fail("lost update survived the race: n=%d, want 2", n)
+			}
+		})
+	}
+	res := Explore(scenario, DFSConfig{Preemptions: 1}, Options{})
+	if !res.Failed() {
+		t.Fatalf("DFS failed to find the planted lost update: %s", res.Summary())
+	}
+	// The reported schedule must replay to the same violation.
+	rep := Replay(scenario, res.Schedule, Options{})
+	if !rep.Failed() {
+		t.Fatalf("schedule %q did not replay the violation", res.Schedule)
+	}
+	if rep.Violations[0].Checker != res.Violations[0].Checker {
+		t.Fatalf("replay found %v, exploration found %v", rep.Violations[0], res.Violations[0])
+	}
+}
+
+// lostWakeupScenario is the sacrificial protocol bug the ISSUE's
+// determinism acceptance rides on: the waiter re-checks its flag and only
+// THEN asserts the wait, releasing the lock in between — the textbook
+// broken ordering the paper's assert_wait/unlock/thread_block split exists
+// to prevent. On schedules where the signaler's wakeup lands in the
+// window, the waiter blocks forever.
+func lostWakeupScenario(s *Sim) {
+	l := &splock.Lock{}
+	type ev struct{ _ int }
+	e := &ev{}
+	ready := false
+	s.Label(l, "flag.lock")
+	s.Spawn("waiter", func(t *sched.Thread) {
+		l.Lock()
+		if !ready {
+			l.Unlock()
+			// BUG: the wakeup can land here, before the wait is
+			// asserted; the correct order is AssertWait, then unlock.
+			sched.AssertWait(t, e)
+			sched.ThreadBlock(t)
+		} else {
+			l.Unlock()
+		}
+	})
+	s.Spawn("signaler", func(_ *sched.Thread) {
+		l.Lock()
+		ready = true
+		l.Unlock()
+		sched.ThreadWakeup(e)
+	})
+}
+
+// TestSimSeededFailureIsByteIdentical runs the seeded random walk over the
+// lost-wakeup bug twice and requires the two failures to be byte-identical
+// — same seed, same schedule, same violation — and the recorded schedule
+// to replay to the same deadlock. This is the determinism contract
+// MACHSIM_SEED depends on.
+func TestSimSeededFailureIsByteIdentical(t *testing.T) {
+	run := func() Result { return Random(lostWakeupScenario, 400, 7, Options{}) }
+	first := run()
+	if !first.Failed() {
+		t.Fatalf("random walk failed to find the lost wakeup: %s", first.Summary())
+	}
+	if first.Violations[0].Checker != "deadlock" {
+		t.Fatalf("expected a deadlock, found %v", first.Violations[0])
+	}
+	second := run()
+	if !second.Failed() {
+		t.Fatal("second identical walk found nothing")
+	}
+	if first.Seed != second.Seed || first.Schedule != second.Schedule {
+		t.Fatalf("seeded failure not reproducible:\n run 1: seed %d schedule %s\n run 2: seed %d schedule %s",
+			first.Seed, first.Schedule, second.Seed, second.Schedule)
+	}
+	rep := Replay(lostWakeupScenario, first.Schedule, Options{})
+	if !rep.Failed() || rep.Violations[0].Checker != "deadlock" {
+		t.Fatalf("schedule did not replay the deadlock: %+v", rep.Violations)
+	}
+}
+
+// TestSimDFSFindsLostWakeup requires the bounded DFS to find the same bug
+// with a single preemption — the minimal counterexample is one forced
+// switch inside the unlock-to-assert window.
+func TestSimDFSFindsLostWakeup(t *testing.T) {
+	res := Explore(lostWakeupScenario, DFSConfig{Preemptions: 1}, Options{})
+	if !res.Failed() {
+		t.Fatalf("bounded DFS missed the lost wakeup: %s", res.Summary())
+	}
+	if res.Violations[0].Checker != "deadlock" {
+		t.Fatalf("expected deadlock, found %v", res.Violations[0])
+	}
+}
+
+// TestSimSpuriousWakeupInjection: a lone waiter with nobody to wake it is
+// a deadlock — unless the fault engine injects a thread-based event
+// occurrence (ClearWait), in which case ThreadBlock returns Restarted and
+// the thread completes.
+func TestSimSpuriousWakeupInjection(t *testing.T) {
+	var got sched.WaitResult
+	scenario := func(s *Sim) {
+		type ev struct{ _ int }
+		e := &ev{}
+		s.Spawn("waiter", func(t *sched.Thread) {
+			sched.AssertWait(t, e)
+			got = sched.ThreadBlock(t)
+		})
+	}
+	plain := Random(scenario, 5, 1, Options{})
+	if !plain.Failed() || plain.Violations[0].Checker != "deadlock" {
+		t.Fatalf("expected a deadlock without injection, got %+v", plain.Violations)
+	}
+	faulty := Random(scenario, 5, 1, Options{SpuriousWakeups: true})
+	Check(t, faulty)
+	if got != sched.Restarted {
+		t.Fatalf("injected wakeup should deliver Restarted, got %v", got)
+	}
+}
+
+// TestSimForceFailTries: with FaultTries on, the two-way try decision is
+// explored — DFS must produce both a run where TryWrite succeeds and one
+// where it is forced to fail.
+func TestSimForceFailTries(t *testing.T) {
+	succeeded, failed := 0, 0
+	scenario := func(s *Sim) {
+		l := cxlock.NewWith(cxlock.Options{Name: "try"})
+		s.Spawn("trier", func(t *sched.Thread) {
+			if l.TryWrite(nil) {
+				succeeded++
+				l.Done(nil)
+			} else {
+				failed++
+			}
+		})
+	}
+	res := Explore(scenario, DFSConfig{Preemptions: 1}, Options{FaultTries: true})
+	Check(t, res)
+	if succeeded == 0 || failed == 0 {
+		t.Fatalf("fault engine did not explore both try outcomes: ok=%d forced=%d", succeeded, failed)
+	}
+}
+
+// TestSimRefcountResurrectChecker: dropping the last reference and then
+// re-initializing the count is the resurrection pattern the paper's
+// protocol forbids; the shadow model must flag the clone that follows.
+func TestSimRefcountResurrectChecker(t *testing.T) {
+	scenario := func(s *Sim) {
+		var c refcount.Count
+		c.Init(1)
+		s.Label(&c, "victim")
+		s.Spawn("necromancer", func(_ *sched.Thread) {
+			c.Release() // count hits zero: object is gone
+			c.Init(1)   // storage "reallocated"...
+			c.Clone()   // ...and a stale pointer clones through it
+		})
+	}
+	res := Explore(scenario, DFSConfig{}, Options{})
+	if !res.Failed() {
+		t.Fatal("resurrect checker missed a clone after zero")
+	}
+	if res.Violations[0].Checker != "ref-resurrect" {
+		t.Fatalf("expected ref-resurrect, got %v", res.Violations[0])
+	}
+}
+
+// TestSimReplayDivergenceIsReported: feeding a schedule from a different
+// scenario must be reported as a replay divergence, not silently explored.
+func TestSimReplayDivergenceIsReported(t *testing.T) {
+	res := Replay(lostWakeupScenario, "0,0,0,99", Options{})
+	if !res.Failed() {
+		t.Fatal("bogus schedule replayed without complaint")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Checker == "replay" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a replay violation, got %+v", res.Violations)
+	}
+}
+
+// TestSimVirtualClock: the virtual clock must advance deterministically
+// with decisions so time-dependent protocol state (the bias re-arm
+// cooldown) is schedule-reproducible.
+func TestSimVirtualClock(t *testing.T) {
+	var t0, t1 int64
+	scenario := func(s *Sim) {
+		l := &splock.Lock{}
+		s.Spawn("ticker", func(_ *sched.Thread) {
+			l.Lock()
+			l.Unlock()
+		})
+	}
+	s := newSim(scenario, &randomDecider{rng: prng{x: 1}}, Options{})
+	s.runOnce()
+	t0 = s.clockNs
+	s2 := newSim(scenario, &randomDecider{rng: prng{x: 1}}, Options{})
+	s2.runOnce()
+	t1 = s2.clockNs
+	if t0 != t1 || t0 <= clockBaseNs {
+		t.Fatalf("virtual clock not deterministic: %d vs %d", t0, t1)
+	}
+}

@@ -1,0 +1,90 @@
+package machsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Violation is one checked property failing on one schedule.
+type Violation struct {
+	Checker string // which property: mutual-exclusion, deadlock, ref-resurrect, ...
+	Msg     string
+	Step    int // decision count when detected
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] step %d: %s", v.Checker, v.Step, v.Msg)
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	Runs         int   // schedules executed
+	Steps        int64 // total decisions across all runs
+	Inconclusive int   // runs abandoned at MaxSteps (possible livelocks)
+	Exhausted    bool  // Explore only: the whole bounded space was covered
+	Seed         int64 // Random only: the failing run's seed (or the base seed)
+	Schedule     string
+	Violations   []Violation
+	Log          []string // event tail of the failing run
+}
+
+// Failed reports whether any property was violated.
+func (r Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Report renders a human-readable failure report: the violations, the
+// reproducing schedule and seed, and the tail of the event log.
+func (r Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machsim: %d violation(s) after %d run(s), %d step(s)\n",
+		len(r.Violations), r.Runs, r.Steps)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	if r.Schedule != "" {
+		fmt.Fprintf(&b, "schedule (replay with machsim.Replay): %s\n", r.Schedule)
+	}
+	if r.Seed != 0 {
+		fmt.Fprintf(&b, "seed: %d (rerun with MACHSIM_SEED=%d)\n", r.Seed, r.Seed)
+	}
+	if len(r.Log) > 0 {
+		fmt.Fprintf(&b, "event tail (%d):\n", len(r.Log))
+		for _, e := range r.Log {
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
+	}
+	return b.String()
+}
+
+// Summary is a one-line outcome for passing runs.
+func (r Result) Summary() string {
+	s := fmt.Sprintf("%d run(s), %d step(s)", r.Runs, r.Steps)
+	if r.Inconclusive > 0 {
+		s += fmt.Sprintf(", %d inconclusive", r.Inconclusive)
+	}
+	if r.Exhausted {
+		s += ", space exhausted"
+	}
+	return s
+}
+
+// Check fails the test with a full report if the exploration found a
+// violation, and logs the coverage summary otherwise.
+func Check(t testing.TB, r Result) {
+	t.Helper()
+	if r.Failed() {
+		t.Fatal(r.Report())
+	}
+	t.Logf("machsim: %s", r.Summary())
+}
+
+func resultOf(s *Sim, runs int) Result {
+	r := Result{Runs: runs, Steps: int64(s.steps), Violations: s.violations}
+	if s.inconclusive {
+		r.Inconclusive = 1
+	}
+	if len(s.violations) > 0 {
+		r.Log = append([]string(nil), s.events...)
+	}
+	return r
+}

@@ -1,0 +1,127 @@
+// Machsim suite for the event-wait protocol's edge cases: the
+// assert_wait/unlock/thread_block split exists precisely for the windows
+// these tests explore. External test package so it can import machsim
+// (which itself imports sched).
+package sched_test
+
+import (
+	"testing"
+
+	"machlock/internal/core/splock"
+	"machlock/internal/machsim"
+	"machlock/internal/sched"
+)
+
+// TestSimThreadSleepNoLostWakeup explores Table.ThreadSleep's reason for
+// existing: the wait is asserted BEFORE the lock protecting the condition
+// is released, so a wakeup landing anywhere in the window cannot be lost.
+// Every schedule must terminate (a lost wakeup would deadlock, which the
+// harness reports structurally) with only legal wait results.
+func TestSimThreadSleepNoLostWakeup(t *testing.T) {
+	scenario := func(s *machsim.Sim) {
+		l := &splock.Lock{}
+		e := new(int)
+		ready := false
+		var results []sched.WaitResult
+		s.Label(l, "cond.lock")
+		s.Spawn("sleeper", func(t *sched.Thread) {
+			l.Lock()
+			for !ready {
+				results = append(results, sched.ThreadSleep(t, e, l.Unlock))
+				l.Lock()
+			}
+			l.Unlock()
+		})
+		s.Spawn("waker", func(_ *sched.Thread) {
+			l.Lock()
+			ready = true
+			l.Unlock()
+			sched.ThreadWakeup(e)
+		})
+		s.AtEnd(func(fail func(string, ...any)) {
+			for _, r := range results {
+				if r != sched.Awakened && r != sched.NotWaiting {
+					fail("unexpected wait result %v", r)
+				}
+			}
+		})
+	}
+	machsim.Check(t, machsim.Explore(scenario, machsim.DFSConfig{Preemptions: 2, MaxRuns: 1500}, machsim.Options{}))
+	machsim.Check(t, machsim.Random(scenario, 200, 17, machsim.Options{}))
+}
+
+// TestSimWakeupBetweenAssertAndBlock pins the specific window the split
+// protocol defends: the wait is asserted (during setup, so it is ordered
+// before both bodies) and the wakeup races the ThreadBlock. Depending on
+// which side wins, the blocker sees Awakened (it parked first) or
+// NotWaiting (the wakeup beat it there); the exploration must produce
+// both, and the wakeup must never be lost.
+func TestSimWakeupBetweenAssertAndBlock(t *testing.T) {
+	results := map[sched.WaitResult]bool{}
+	scenario := func(s *machsim.Sim) {
+		e := new(int)
+		th := s.Spawn("blocker", func(t *sched.Thread) {
+			r := sched.ThreadBlock(t)
+			if r != sched.Awakened && r != sched.NotWaiting {
+				s.Fail("wait result %v after a real wakeup", r)
+			}
+			results[r] = true
+		})
+		sched.AssertWait(th, e)
+		s.Spawn("waker", func(_ *sched.Thread) {
+			if n := sched.ThreadWakeup(e); n != 1 {
+				s.Fail("wakeup resumed %d threads, want 1", n)
+			}
+		})
+	}
+	res := machsim.Explore(scenario, machsim.DFSConfig{Preemptions: 1, MaxRuns: 400}, machsim.Options{})
+	machsim.Check(t, res)
+	if !results[sched.Awakened] || !results[sched.NotWaiting] {
+		t.Fatalf("exploration missed a window: results=%v (want both Awakened and NotWaiting)", results)
+	}
+}
+
+// TestSimClearWaitRacesWakeup: a stale ClearWait (the thread-based event
+// occurrence a timeout path would deliver) races the real event wakeup.
+// Exactly one side may resume the thread — the loser must observe a
+// thread that is already running and stand down — and the blocker's
+// result must identify the winner.
+func TestSimClearWaitRacesWakeup(t *testing.T) {
+	saw := map[sched.WaitResult]bool{}
+	scenario := func(s *machsim.Sim) {
+		e := new(int)
+		var result sched.WaitResult
+		th := s.Spawn("blocker", func(t *sched.Thread) {
+			result = sched.ThreadBlock(t)
+		})
+		sched.AssertWait(th, e)
+		cleared, woken := false, 0
+		s.Spawn("clearer", func(_ *sched.Thread) {
+			cleared = sched.ClearWait(th)
+		})
+		s.Spawn("waker", func(_ *sched.Thread) {
+			woken = sched.ThreadWakeup(e)
+		})
+		s.AtEnd(func(fail func(string, ...any)) {
+			resumes := woken
+			if cleared {
+				resumes++
+			}
+			if resumes != 1 {
+				fail("thread resumed %d times (cleared=%v woken=%d), want exactly once", resumes, cleared, woken)
+			}
+			switch {
+			case cleared && result != sched.Restarted && result != sched.NotWaiting:
+				fail("clear_wait won but result=%v", result)
+			case woken == 1 && result != sched.Awakened && result != sched.NotWaiting:
+				fail("wakeup won but result=%v", result)
+			}
+			saw[result] = true
+		})
+	}
+	res := machsim.Explore(scenario, machsim.DFSConfig{Preemptions: 2, MaxRuns: 1500}, machsim.Options{})
+	machsim.Check(t, res)
+	if !saw[sched.Restarted] || !saw[sched.Awakened] {
+		t.Fatalf("exploration missed an ordering: saw=%v (want both Restarted and Awakened)", saw)
+	}
+}

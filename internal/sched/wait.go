@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"machlock/internal/machsim/simhook"
 )
 
 // nbuckets is the size of the event hash table. Mach sized its wait-event
@@ -50,6 +52,7 @@ func (tb *Table) bucketOf(e Event) *bucket {
 // protocol violation (the paper notes a second assert_wait between an
 // assert_wait and its thread_block "is fatal") and panics.
 func (tb *Table) AssertWait(t *Thread, e Event) {
+	simhook.Yield(simhook.SchedAssertWait, e)
 	if e == nil {
 		// Null event: the thread can only be resumed by ClearWait.
 		t.mu.Lock()
@@ -101,6 +104,24 @@ func (tb *Table) ThreadBlock(t *Thread) WaitResult {
 	}
 	t.state = blocked
 	t.blocks.Add(1)
+	if simhook.Enabled() {
+		// Under the machsim harness the thread parks on the harness's own
+		// scheduler instead of the host condition variable, so the context
+		// switch is a deterministic scheduling decision. resume() marks
+		// the thread runnable via simhook.Unblock; Block returns once the
+		// harness actually selects it again. No wakeup can be lost: state
+		// is already `blocked`, so a resume between the unlock below and
+		// the park is delivered by the harness, which serializes them.
+		t.mu.Unlock()
+		simhook.Note(simhook.SchedBlocked, t, 0)
+		if simhook.Block(t) {
+			t.mu.Lock()
+			r := t.result
+			t.mu.Unlock()
+			return r
+		}
+		t.mu.Lock() // not a harness thread: fall through to host blocking
+	}
 	for t.state == blocked {
 		t.cond.Wait()
 	}
@@ -128,6 +149,7 @@ func (tb *Table) wakeup(e Event, one bool) int {
 	if e == nil {
 		panic("sched: thread_wakeup on nil event")
 	}
+	simhook.Yield(simhook.SchedWakeup, e)
 	b := tb.bucketOf(e)
 	b.mu.Lock()
 	list := b.waiters[e]
@@ -175,10 +197,20 @@ func (tb *Table) resume(t *Thread, e Event, r WaitResult) {
 		t.event = nil
 		t.result = r
 		if was == blocked {
-			t.cond.Signal()
+			wakeBlocked(t, r)
 		}
 	}
 	t.mu.Unlock()
+}
+
+// wakeBlocked delivers the resume to a thread parked in ThreadBlock: via
+// the machsim harness when the thread is under its control, else through
+// the host condition variable. Caller holds t.mu.
+func wakeBlocked(t *Thread, r WaitResult) {
+	simhook.Note(simhook.SchedUnblocked, t, int64(r))
+	if !simhook.Unblock(t) {
+		t.cond.Signal()
+	}
 }
 
 // ClearWait resumes a specific thread regardless of the event it is waiting
@@ -186,6 +218,7 @@ func (tb *Table) resume(t *Thread, e Event, r WaitResult) {
 // ThreadBlock returns Restarted. ClearWait on a thread that is not waiting
 // is a no-op, returning false.
 func (tb *Table) ClearWait(t *Thread) bool {
+	simhook.Yield(simhook.SchedClearWait, t)
 	tb.clearWaits.Add(1)
 	for {
 		t.mu.Lock()
@@ -200,7 +233,7 @@ func (tb *Table) ClearWait(t *Thread) bool {
 			t.state = running
 			t.result = Restarted
 			if was == blocked {
-				t.cond.Signal()
+				wakeBlocked(t, Restarted)
 			}
 			t.mu.Unlock()
 			return true
@@ -234,7 +267,7 @@ func (tb *Table) ClearWait(t *Thread) bool {
 		t.event = nil
 		t.result = Restarted
 		if was == blocked {
-			t.cond.Signal()
+			wakeBlocked(t, Restarted)
 		}
 		t.mu.Unlock()
 		b.mu.Unlock()
