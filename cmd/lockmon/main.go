@@ -17,9 +17,11 @@
 //
 //	lockmon [-addr host:port] [-threads N] [-ops N] [-duration D]
 //	lockmon -smoke        # self-check: ephemeral port, hit every endpoint
+//	lockmon -smoke -pprof-out waits.pb.gz -timeline-out timeline.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +49,8 @@ func main() {
 	duration := flag.Duration("duration", 0, "exit after this long (0 = until interrupted)")
 	inject := flag.Bool("inject-deadlock", true, "inject the vm_map_pageable-style lock cycle")
 	smoke := flag.Bool("smoke", false, "self-check mode: ephemeral port, probe every endpoint, exit")
+	pprofOut := flag.String("pprof-out", "", "smoke mode: save the scraped pprof wait profile here")
+	timelineOut := flag.String("timeline-out", "", "smoke mode: save the scraped Perfetto timeline here")
 	flag.Parse()
 
 	mon := monitor.New(monitor.Config{
@@ -71,8 +75,14 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("lockmon: monitor up, debug surface at %s/debug/machlock/\n", base)
 
+	// Sample every hold/wait stack: lockmon is a demo and self-check, not a
+	// hot kernel, so rich profiles beat the sampling discount — and the
+	// smoke's pprof assertions stay deterministic.
+	trace.SetStackSampling(1)
+
 	fmt.Printf("lockmon: driving vm/ipc/zalloc workloads (%d threads x %d ops each)\n", *threads, *ops)
 	runWorkloads(*threads, *ops)
+	injectContention()
 
 	if *inject {
 		if !injectDeadlock(mon) {
@@ -82,6 +92,9 @@ func main() {
 
 	if *smoke {
 		if err := smokeCheck(base, *inject); err != nil {
+			fatalf("smoke check failed: %v", err)
+		}
+		if err := smokeArtifacts(base, *pprofOut, *timelineOut); err != nil {
 			fatalf("smoke check failed: %v", err)
 		}
 		fmt.Println("lockmon: smoke check passed (all endpoints live, deadlock incident captured)")
@@ -187,6 +200,34 @@ func runZalloc(threads, ops int) {
 	for _, th := range ths {
 		th.Join()
 	}
+}
+
+// injectContention stages one deterministic contended hold on a traced
+// sleep lock: the holder keeps the write lock for a few milliseconds while
+// a second thread waits on it. Workload contention depends on scheduling
+// luck (on one CPU it can round to zero), so this guarantees the wait,
+// hold, and blame site profiles each have at least one sample — the blame
+// one attributing the waiter's delay to injectContention's holder.
+func injectContention() {
+	l := cxlock.NewWith(cxlock.Options{
+		Sleep: true,
+		Name:  "lockmon.smoke",
+		Class: trace.NewClass("lockmon", "lockmon.smoke", trace.KindComplex),
+	})
+	held := make(chan struct{})
+	holder := sched.Go("smoke-holder", func(self *sched.Thread) {
+		l.Write(self)
+		close(held)
+		time.Sleep(5 * time.Millisecond)
+		l.Done(self)
+	})
+	waiter := sched.Go("smoke-waiter", func(self *sched.Thread) {
+		<-held
+		l.Write(self)
+		l.Done(self)
+	})
+	holder.Join()
+	waiter.Join()
 }
 
 // injectDeadlock stages the Section 7.1 stall as a full lock cycle on a
@@ -311,4 +352,80 @@ func smokeCheck(base string, injected bool) error {
 		}
 	}
 	return nil
+}
+
+// smokeArtifacts scrapes the profiler endpoints and validates the formats
+// structurally — the pprof body must decode as a profile.proto with the
+// wait sample types and real samples behind it, the timeline as Chrome
+// trace-event JSON with populated traceEvents. Non-empty output paths get
+// the raw bytes (CI uploads them as artifacts).
+func smokeArtifacts(base, pprofOut, timelineOut string) error {
+	fetch := func(path string) ([]byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return nil, fmt.Errorf("GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	save := func(path string, data []byte) error {
+		if path == "" {
+			return nil
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("lockmon: wrote %s (%d bytes)\n", path, len(data))
+		return nil
+	}
+
+	raw, err := fetch("/debug/machlock/pprof/waits")
+	if err != nil {
+		return err
+	}
+	prof, err := trace.ParsePprof(raw)
+	if err != nil {
+		return fmt.Errorf("pprof/waits: %w", err)
+	}
+	if len(prof.SampleTypes) != 2 || prof.SampleTypes[0] != "contentions/count" {
+		return fmt.Errorf("pprof/waits: unexpected sample types %v", prof.SampleTypes)
+	}
+	if len(prof.Samples) == 0 {
+		return fmt.Errorf("pprof/waits: no samples after contended workloads")
+	}
+	if err := save(pprofOut, raw); err != nil {
+		return err
+	}
+
+	// The blame profile must attribute the staged contention to its holder:
+	// the waiter's delay keyed by injectContention's acquisition stack.
+	raw, err = fetch("/debug/machlock/pprof/blame")
+	if err != nil {
+		return err
+	}
+	blame, err := trace.ParsePprof(raw)
+	if err != nil {
+		return fmt.Errorf("pprof/blame: %w", err)
+	}
+	if blame.FindSample("injectContention") == nil {
+		return fmt.Errorf("pprof/blame: no sample names the injected holder (samples: %d)", len(blame.Samples))
+	}
+
+	raw, err = fetch("/debug/machlock/timeline")
+	if err != nil {
+		return err
+	}
+	var tl struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tl); err != nil {
+		return fmt.Errorf("timeline: invalid JSON: %w", err)
+	}
+	if len(tl.TraceEvents) == 0 {
+		return fmt.Errorf("timeline: no trace events in the flight recorder")
+	}
+	return save(timelineOut, raw)
 }

@@ -8,15 +8,26 @@
 // Usage:
 //
 //	locktrace [-threads N] [-ops N] [-format text|csv|vars] [-events N]
+//	          [-pprof FILE [-pprof-kind waits|holds|blame]] [-timeline FILE]
+//	          [-url http://host:port]
+//
+// With -pprof and/or -timeline the tool also exports profiler artifacts:
+// a gzipped pprof profile.proto (feed it to go tool pprof) and the flight
+// recorder as Chrome trace-event JSON (load into ui.perfetto.dev). By
+// default they come from the in-process run; with -url they are fetched
+// from a running monitor's debug endpoints instead, and no workload runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	"machlock/internal/core/splock"
 	"machlock/internal/ipc"
+	"machlock/internal/opspan"
 	"machlock/internal/sched"
 	"machlock/internal/trace"
 	"machlock/internal/vm"
@@ -28,14 +39,55 @@ func main() {
 	ops := flag.Int("ops", 2000, "operations per thread")
 	format := flag.String("format", "text", "profile output: text, csv, or vars")
 	events := flag.Int("events", 20, "flight-recorder events to dump (0 disables)")
+	pprofOut := flag.String("pprof", "", "write a pprof profile (gzipped profile.proto) to this file")
+	pprofKind := flag.String("pprof-kind", "waits", "which site profile -pprof exports: waits, holds, or blame")
+	timelineOut := flag.String("timeline", "", "write the flight recorder as Chrome trace-event JSON to this file")
+	baseURL := flag.String("url", "", "fetch -pprof/-timeline from a running monitor at this base URL instead of running workloads")
 	flag.Parse()
 
+	var kind trace.SiteKind
+	switch *pprofKind {
+	case "waits":
+		kind = trace.SiteWaits
+	case "holds":
+		kind = trace.SiteHolds
+	case "blame":
+		kind = trace.SiteBlame
+	default:
+		fmt.Fprintf(os.Stderr, "locktrace: unknown -pprof-kind %q\n", *pprofKind)
+		os.Exit(2)
+	}
+
+	if *baseURL != "" {
+		// Remote mode: pull the artifacts from a live monitor and exit.
+		if *pprofOut == "" && *timelineOut == "" {
+			fmt.Fprintln(os.Stderr, "locktrace: -url requires -pprof and/or -timeline")
+			os.Exit(2)
+		}
+		if *pprofOut != "" {
+			fetch(*baseURL+"/debug/machlock/pprof/"+*pprofKind, *pprofOut)
+		}
+		if *timelineOut != "" {
+			fetch(*baseURL+"/debug/machlock/timeline", *timelineOut)
+		}
+		return
+	}
+
 	trace.Enable()
+	opspan.Install() // credit in-span lock waits (vm faults, ipc sends)
 	runVM(*threads, *ops)
 	runIPC(*threads, *ops)
 	runZalloc(*threads, *ops)
 	runSpin(*threads, *ops)
+	opspan.Uninstall()
 	trace.Disable()
+
+	if *pprofOut != "" {
+		export(*pprofOut, func(w io.Writer) error { return trace.WritePprof(w, kind) })
+	}
+	if *timelineOut != "" {
+		export(*timelineOut, func(w io.Writer) error { return trace.WriteTimeline(w, trace.Events(0)) })
+	}
 
 	ranked := trace.Ranked()
 	var err error
@@ -63,6 +115,43 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// export writes one artifact to path via the given writer.
+func export(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locktrace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := write(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locktrace: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "locktrace: wrote %s\n", path)
+}
+
+// fetch downloads one monitor debug endpoint to path.
+func fetch(url, path string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locktrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "locktrace: GET %s: %s\n", url, resp.Status)
+		os.Exit(1)
+	}
+	export(path, func(w io.Writer) error {
+		_, err := io.Copy(w, resp.Body)
+		return err
+	})
 }
 
 // runVM faults pages of a shared map from many threads: contention on the
@@ -118,7 +207,7 @@ func runIPC(threads, ops int) {
 				}
 				if n%4 == 0 {
 					msg := ipc.NewMessage(p, nil, n)
-					if err := p.Send(msg); err != nil {
+					if err := p.SendFrom(self, msg); err != nil {
 						msg.Destroy()
 					} else if got, err := p.Receive(self); err == nil {
 						got.Destroy()

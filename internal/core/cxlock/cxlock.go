@@ -105,6 +105,20 @@ type Lock struct {
 	// writer in) in ns; protected by the interlock, nonzero only while
 	// instrumented.
 	acquiredAt int64
+	// hold is the sampled identity of the current occupancy's first
+	// holder, published for waiters to blame (trace.Class.BlameWait) and
+	// cleared when the occupancy ends. Nil between holds and for
+	// unsampled holds, in which case waiters' delay accumulates as
+	// unattributed.
+	hold atomic.Pointer[trace.HoldInfo]
+}
+
+// tidOf returns t's trace id (0 for the nil thread).
+func tidOf(t *sched.Thread) uint32 {
+	if t == nil {
+		return 0
+	}
+	return t.TraceID()
 }
 
 // SetClass registers the lock with the observability layer. Call before
@@ -122,21 +136,72 @@ func (l *Lock) instrOn() bool { return l.stat != nil || l.class.On() }
 
 // recordAcquired feeds one granted hold to the per-instance sink and the
 // class profile; called outside the interlock, like the observer hooks.
-func (l *Lock) recordAcquired(contended bool, waitNs int64) {
+// Contended acquisitions also feed the waiter-side site profile (sampled).
+// Hot paths gate the call on instrOn, so the body assumes something is
+// listening; the On() recheck only skips the trace half for stat-only
+// instrumentation.
+func (l *Lock) recordAcquired(t *sched.Thread, contended bool, waitNs int64) {
 	if l.stat != nil {
 		l.stat.acquired(contended, waitNs)
 	}
-	l.class.Acquired(contended, waitNs)
+	if !l.class.On() {
+		return
+	}
+	l.class.AcquiredBy(tidOf(t), contended, waitNs)
+	if contended && waitNs > 0 {
+		l.class.WaitSampled(1, waitNs)
+	}
 }
 
 // recordReleased feeds one release; holdNs < 0 means no occupancy sample
-// ended with this release (e.g. a reader left while others remain).
-func (l *Lock) recordReleased(holdNs int64) {
+// ended with this release (e.g. a reader left while others remain). h is
+// the holder identity the occupancy published, if any — its hold duration
+// lands in the class's hold-site profile.
+func (l *Lock) recordReleased(t *sched.Thread, holdNs int64, h *trace.HoldInfo) {
 	if l.stat != nil {
 		l.stat.released(holdNs)
 	}
-	l.class.Released(holdNs)
+	if !l.class.On() {
+		return
+	}
+	l.class.ReleasedBy(tidOf(t), holdNs)
+	if holdNs >= 0 {
+		l.class.EndHold(h, holdNs)
+	}
 }
+
+// publishHold samples this acquisition for holder blame: 1-in-N grants
+// capture the acquiring stack and publish it on l.hold for waiters to
+// read. Call only for the grant that starts an occupancy (writer in, or
+// first reader in) — later readers share the first-in holder's blame.
+// The On() gate here inlines into the grant paths, so untraced locks pay
+// one predictable branch rather than a call chain.
+func (l *Lock) publishHold(t *sched.Thread) {
+	if !l.class.On() {
+		return
+	}
+	l.publishHoldSampled(t)
+}
+
+func (l *Lock) publishHoldSampled(t *sched.Thread) {
+	if h := l.class.SampleHold(2, tidOf(t)); h != nil {
+		h.Since = nowNs()
+		l.hold.Store(h)
+	}
+}
+
+// takeHold retires the published holder identity at end of occupancy;
+// called under the interlock. Callers guard with holdPublished so the
+// common case (nothing published: tracing off, or an unsampled
+// acquisition) is one plain atomic load — no RMW on the release fast
+// path. The load-then-swap split is not racy: holds are published only by
+// the current holder, and takeHold runs when that occupancy ends, so no
+// concurrent store can interleave.
+func (l *Lock) takeHold() *trace.HoldInfo { return l.hold.Swap(nil) }
+
+// holdPublished reports whether the current occupancy published a holder
+// identity; inlines to one atomic load.
+func (l *Lock) holdPublished() bool { return l.hold.Load() != nil }
 
 // nowNs is the package clock: the machsim virtual clock when a harness is
 // installed (so time-dependent protocol state — the bias re-arm cooldown —
@@ -206,8 +271,15 @@ func (l *Lock) SetSleepable(canSleep bool) {
 func (l *Lock) wait(t *sched.Thread) {
 	tr := l.class.On()
 	var start time.Time
+	var blamed *trace.HoldInfo
+	var tid uint32
 	if tr {
 		start = time.Now()
+		tid = tidOf(t)
+		// Blame is pinned to the holder visible when the wait begins: by
+		// the time the wait ends the lock may have changed hands, but the
+		// delay was caused by whoever held it when we had to stop.
+		blamed = l.hold.Load()
 	}
 	if l.canSleep && t != nil {
 		l.waiting = true
@@ -215,14 +287,14 @@ func (l *Lock) wait(t *sched.Thread) {
 		sched.AssertWait(t, sched.Event(l))
 		l.interlock.Unlock()
 		obWaiting(l, t)
-		l.class.Waiting()
+		l.class.WaitingBy(tid)
 		sched.ThreadBlock(t)
 		obDoneWaiting(l, t)
 	} else {
 		l.stats.spins.Add(1)
 		l.interlock.Unlock()
 		obWaiting(l, t)
-		l.class.Waiting()
+		l.class.WaitingBy(tid)
 		if simhook.Enabled() {
 			// One spin iteration is a voluntary machsim yield: the
 			// interlock has been released, so the harness is free to run
@@ -236,7 +308,9 @@ func (l *Lock) wait(t *sched.Thread) {
 		obDoneWaiting(l, t)
 	}
 	if tr {
-		l.class.DoneWaiting(time.Since(start).Nanoseconds())
+		waitNs := time.Since(start).Nanoseconds()
+		l.class.DoneWaitingBy(tid, waitNs)
+		l.class.BlameWait(blamed, waitNs)
 	}
 	l.interlock.Lock() //machlock:holds — handoff: wait() returns with the interlock reacquired for its caller
 }
@@ -288,7 +362,9 @@ func (l *Lock) Write(t *sched.Thread) {
 		simhook.Note(simhook.CxRecurseGrant, l, int64(l.depth))
 		l.interlock.Unlock()
 		obAcquired(l, t)
-		l.recordAcquired(false, 0)
+		if instr {
+			l.recordAcquired(t, false, 0)
+		}
 		return
 	}
 	// Acquire the want_write bit; writers queue behind existing writers.
@@ -323,13 +399,20 @@ func (l *Lock) Write(t *sched.Thread) {
 		l.acquiredAt = nowNs()
 	}
 	l.interlock.Unlock()
+	if instr {
+		// instr false implies the class is off (instrOn covers On()), so
+		// the untraced grant path skips even the sampling branch.
+		l.publishHold(t)
+	}
 	obAcquired(l, t)
 	simhook.Yield(simhook.CxAcquired, l)
-	var waitNs int64
-	if instr && waited {
-		waitNs = time.Since(waitStart).Nanoseconds()
+	if instr {
+		var waitNs int64
+		if waited {
+			waitNs = time.Since(waitStart).Nanoseconds()
+		}
+		l.recordAcquired(t, waited, waitNs)
 	}
-	l.recordAcquired(waited, waitNs)
 }
 
 // Read acquires the lock for reading (lock_read). The recursive holder's
@@ -355,7 +438,9 @@ func (l *Lock) Read(t *sched.Thread) {
 		}
 		l.interlock.Unlock()
 		obAcquired(l, t)
-		l.recordAcquired(false, 0)
+		if instr {
+			l.recordAcquired(t, false, 0)
+		}
 		return
 	}
 	for l.wantWrite || l.wantUpgrade {
@@ -371,17 +456,23 @@ func (l *Lock) Read(t *sched.Thread) {
 	l.maybeRearmLocked()
 	// Occupancy: the hold sample spans from the first reader in to the
 	// last reader out, so only the 0→1 transition stamps the clock.
-	if instr && l.readCount == 1 {
+	first := l.readCount == 1
+	if instr && first {
 		l.acquiredAt = nowNs()
 	}
 	l.interlock.Unlock()
+	if instr && first {
+		l.publishHold(t)
+	}
 	obAcquired(l, t)
 	simhook.Yield(simhook.CxAcquired, l)
-	var waitNs int64
-	if instr && waited {
-		waitNs = time.Since(waitStart).Nanoseconds()
+	if instr {
+		var waitNs int64
+		if waited {
+			waitNs = time.Since(waitStart).Nanoseconds()
+		}
+		l.recordAcquired(t, waited, waitNs)
 	}
-	l.recordAcquired(waited, waitNs)
 }
 
 // ReadToWrite upgrades a read hold to a write hold (lock_read_to_write).
@@ -425,15 +516,21 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 		l.stats.failedUpgrades.Add(1)
 		simhook.Note(simhook.CxUpgradeFail, l, int64(l.readCount))
 		holdNs := int64(-1)
+		var h *trace.HoldInfo
 		if instr && l.readCount == 0 && l.acquiredAt != 0 {
 			holdNs = nowNs() - l.acquiredAt
 			l.acquiredAt = 0
+			if l.holdPublished() {
+				h = l.takeHold()
+			}
 		}
 		l.wakeupLocked()
 		l.interlock.Unlock()
 		obReleased(l, t)
 		l.class.Upgraded(false)
-		l.recordReleased(holdNs)
+		if instr {
+			l.recordReleased(t, holdNs, h)
+		}
 		return true
 	}
 	l.wantUpgrade = true
@@ -448,10 +545,14 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 	// The hold continues across the upgrade: if this thread was the only
 	// reader its occupancy stamp carries over; if other readers ended the
 	// occupancy while we drained, restart the stamp for the write hold.
-	if instr && l.acquiredAt == 0 {
+	restamped := instr && l.acquiredAt == 0
+	if restamped {
 		l.acquiredAt = nowNs()
 	}
 	l.interlock.Unlock()
+	if restamped {
+		l.publishHold(t)
+	}
 	l.class.Upgraded(true)
 	simhook.Yield(simhook.CxAcquired, l)
 	return false
@@ -494,6 +595,7 @@ func (l *Lock) Done(t *sched.Thread) {
 		obReleased(l, t)
 		return
 	}
+	instr := l.instrOn()
 	l.interlock.Lock()
 	endHold := false
 	switch {
@@ -517,14 +619,24 @@ func (l *Lock) Done(t *sched.Thread) {
 		panic("cxlock: lock_done on lock not held")
 	}
 	holdNs := int64(-1)
+	var h *trace.HoldInfo
+	// A published hold implies the occupancy was instrumented (publishing
+	// requires the class to be on, which instrOn covers), so the stamp
+	// check also guards the hold retire — the untraced release path pays
+	// nothing here.
 	if endHold && l.acquiredAt != 0 {
 		holdNs = nowNs() - l.acquiredAt
 		l.acquiredAt = 0
+		if l.holdPublished() {
+			h = l.takeHold()
+		}
 	}
 	l.wakeupLocked()
 	l.interlock.Unlock()
 	obReleased(l, t)
-	l.recordReleased(holdNs)
+	if instr {
+		l.recordReleased(t, holdNs, h)
+	}
 }
 
 // TryRead makes a single attempt to acquire the lock for reading
@@ -549,7 +661,9 @@ func (l *Lock) TryRead(t *sched.Thread) bool {
 			l.acquiredAt = nowNs()
 		}
 		defer obAcquired(l, t)
-		defer l.recordAcquired(false, 0)
+		if instr {
+			defer l.recordAcquired(t, false, 0)
+		}
 		return true
 	}
 	if l.wantWrite || l.wantUpgrade {
@@ -559,11 +673,14 @@ func (l *Lock) TryRead(t *sched.Thread) bool {
 	l.stats.reads.Add(1)
 	simhook.Note(simhook.CxReadGrant, l, int64(l.readCount))
 	l.maybeRearmLocked()
-	if instr && l.readCount == 1 {
+	if l.readCount == 1 && instr {
 		l.acquiredAt = nowNs()
+		defer l.publishHold(t)
 	}
 	defer obAcquired(l, t)
-	defer l.recordAcquired(false, 0)
+	if instr {
+		defer l.recordAcquired(t, false, 0)
+	}
 	return true
 }
 
@@ -585,7 +702,9 @@ func (l *Lock) TryWrite(t *sched.Thread) bool {
 		l.depth++
 		simhook.Note(simhook.CxRecurseGrant, l, int64(l.depth))
 		defer obAcquired(l, t)
-		defer l.recordAcquired(false, 0)
+		if instr {
+			defer l.recordAcquired(t, false, 0)
+		}
 		return true
 	}
 	if l.wantWrite || l.wantUpgrade || l.readCount != 0 {
@@ -607,9 +726,12 @@ func (l *Lock) TryWrite(t *sched.Thread) bool {
 	simhook.Note(simhook.CxWriteGrant, l, 0)
 	if instr {
 		l.acquiredAt = nowNs()
+		defer l.publishHold(t)
 	}
 	defer obAcquired(l, t)
-	defer l.recordAcquired(false, 0)
+	if instr {
+		defer l.recordAcquired(t, false, 0)
+	}
 	return true
 }
 
@@ -666,10 +788,14 @@ func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
 	l.noteBiasDrainedLocked()
 	l.stats.upgrades.Add(1)
 	simhook.Note(simhook.CxUpgradeGrant, l, 0)
-	if l.instrOn() && l.acquiredAt == 0 {
+	restamped := l.instrOn() && l.acquiredAt == 0
+	if restamped {
 		l.acquiredAt = nowNs()
 	}
 	l.interlock.Unlock()
+	if restamped {
+		l.publishHold(t)
+	}
 	l.class.Upgraded(true)
 	simhook.Yield(simhook.CxAcquired, l)
 	return true

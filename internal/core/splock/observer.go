@@ -1,0 +1,146 @@
+package splock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Observer receives simple-lock event callbacks, closing the gap the
+// complex-lock observer fan-out (cxlock.Observer) left: spin locks now
+// participate in the continuous monitor's census and any other tool that
+// watches lock traffic. Simple locks carry no thread identity — Mach's
+// simple_lock takes no thread argument and neither does ours — so the
+// callbacks identify only the lock; tools needing per-thread attribution
+// use the complex-lock observers or the trace-layer blame profiles.
+//
+// Callbacks run on the operating thread, outside any lock word
+// manipulation: Acquired after the test-and-set succeeds, Released after
+// the store that frees the lock, Waiting/DoneWaiting bracketing a
+// contended spin phase. An observer must not acquire the observed lock
+// (immediate self-deadlock on the spin) and should return quickly — it
+// runs inside what a real kernel would count as the critical section's
+// shoulder.
+//
+// The registration discipline matches cxlock: an immutable slice swapped
+// atomically, so the disabled fast path costs one atomic load and a nil
+// check per operation.
+type Observer interface {
+	Acquired(l *Lock, contended bool)
+	Released(l *Lock)
+	Waiting(l *Lock)
+	DoneWaiting(l *Lock)
+}
+
+// spObservers is the registered observer list; nil when empty.
+var spObservers atomic.Pointer[[]Observer]
+
+// spObserversOn mirrors "spObservers != nil" as a plain atomic bool: the
+// generic pointer load is too costly for the inliner, and the bool gate
+// keeps the no-observer dispatch inlined into every lock operation.
+var spObserversOn atomic.Bool
+
+// spObserversMu serializes list mutations; delivery never takes it.
+var spObserversMu sync.Mutex
+
+// AddObserver appends o to the observer list. Install before the locks
+// being observed are in use; events from operations already in flight may
+// be missed.
+func AddObserver(o Observer) {
+	if o == nil {
+		panic("splock: AddObserver(nil)")
+	}
+	spObserversMu.Lock()
+	defer spObserversMu.Unlock()
+	var next []Observer
+	if cur := spObservers.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, o)
+	spObservers.Store(&next)
+	spObserversOn.Store(true)
+}
+
+// RemoveObserver removes the first registered occurrence of o. Removing an
+// observer that is not installed is a no-op; events already fanning out
+// when RemoveObserver returns may still be delivered.
+func RemoveObserver(o Observer) {
+	spObserversMu.Lock()
+	defer spObserversMu.Unlock()
+	cur := spObservers.Load()
+	if cur == nil {
+		return
+	}
+	for i, x := range *cur {
+		if x == o {
+			next := append(append([]Observer{}, (*cur)[:i]...), (*cur)[i+1:]...)
+			if len(next) == 0 {
+				spObserversOn.Store(false)
+				spObservers.Store(nil)
+			} else {
+				spObservers.Store(&next)
+			}
+			return
+		}
+	}
+}
+
+// The ob* dispatchers split the any-observers check (inlined into every
+// lock operation) from the fan-out loop (outlined, only reached with
+// observers installed), so unobserved locks pay one atomic load and a
+// branch.
+
+func obAcquired(l *Lock, contended bool) {
+	if spObserversOn.Load() {
+		fanAcquired(l, contended)
+	}
+}
+
+func fanAcquired(l *Lock, contended bool) {
+	if obs := spObservers.Load(); obs != nil {
+		for _, o := range *obs {
+			o.Acquired(l, contended)
+		}
+	}
+}
+
+func obReleased(l *Lock) {
+	if spObserversOn.Load() {
+		fanReleased(l)
+	}
+}
+
+func fanReleased(l *Lock) {
+	if obs := spObservers.Load(); obs != nil {
+		for _, o := range *obs {
+			o.Released(l)
+		}
+	}
+}
+
+func obWaiting(l *Lock) {
+	if spObserversOn.Load() {
+		fanWaiting(l)
+	}
+}
+
+func fanWaiting(l *Lock) {
+	if obs := spObservers.Load(); obs != nil {
+		for _, o := range *obs {
+			o.Waiting(l)
+		}
+	}
+}
+
+func obDoneWaiting(l *Lock) {
+	if spObserversOn.Load() {
+		fanDoneWaiting(l)
+	}
+}
+
+func fanDoneWaiting(l *Lock) {
+	if obs := spObservers.Load(); obs != nil {
+		for _, o := range *obs {
+			o.DoneWaiting(l)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package splock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"machlock/internal/trace"
+)
+
+// countingObserver tallies every callback; safe for concurrent delivery.
+type countingObserver struct {
+	acquired    atomic.Int64
+	contended   atomic.Int64
+	released    atomic.Int64
+	waiting     atomic.Int64
+	doneWaiting atomic.Int64
+}
+
+func (c *countingObserver) Acquired(l *Lock, contended bool) {
+	c.acquired.Add(1)
+	if contended {
+		c.contended.Add(1)
+	}
+}
+func (c *countingObserver) Released(l *Lock)    { c.released.Add(1) }
+func (c *countingObserver) Waiting(l *Lock)     { c.waiting.Add(1) }
+func (c *countingObserver) DoneWaiting(l *Lock) { c.doneWaiting.Add(1) }
+
+func TestObserverSeesUncontendedTraffic(t *testing.T) {
+	ob := &countingObserver{}
+	AddObserver(ob)
+	defer RemoveObserver(ob)
+
+	l := &Lock{}
+	for i := 0; i < 3; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on a free lock")
+	}
+	l.Unlock()
+
+	if got := ob.acquired.Load(); got != 4 {
+		t.Fatalf("acquired = %d, want 4", got)
+	}
+	if got := ob.released.Load(); got != 4 {
+		t.Fatalf("released = %d, want 4", got)
+	}
+	if ob.contended.Load() != 0 {
+		t.Fatal("uncontended traffic reported as contended")
+	}
+	// Wait brackets must balance even when none occurred.
+	if ob.waiting.Load() != ob.doneWaiting.Load() {
+		t.Fatalf("unbalanced wait brackets: %d vs %d", ob.waiting.Load(), ob.doneWaiting.Load())
+	}
+}
+
+func TestObserverSeesContendedSpin(t *testing.T) {
+	ob := &countingObserver{}
+	AddObserver(ob)
+	defer RemoveObserver(ob)
+
+	// Cover both acquisition paths: the untraced fast path and the traced
+	// (classed, tracing-on) lockTraced path must fan out identically.
+	trace.Enable()
+	defer trace.Disable()
+	traced := &Lock{}
+	traced.SetClass(trace.NewClass("splocktest", t.Name(), trace.KindSpin))
+	for _, l := range []*Lock{{}, traced} {
+		held := make(chan struct{})
+		var wg sync.WaitGroup
+		l.Lock()
+		wg.Add(1)
+		go func() {
+			close(held)
+			l.Lock() // spins until the holder lets go
+			l.Unlock()
+			wg.Done()
+		}()
+		<-held
+		// Wait until the contender is provably inside its spin phase; the
+		// observer's unbalanced Waiting count is the signal, not timing.
+		for ob.waiting.Load() == ob.doneWaiting.Load() {
+			runtime.Gosched()
+		}
+		l.Unlock()
+		wg.Wait()
+	}
+
+	if ob.contended.Load() < 2 {
+		t.Fatalf("contended = %d, want >= 2 (one per lock variant)", ob.contended.Load())
+	}
+	if ob.waiting.Load() != ob.doneWaiting.Load() {
+		t.Fatalf("unbalanced wait brackets: %d vs %d", ob.waiting.Load(), ob.doneWaiting.Load())
+	}
+}
+
+func TestObserverAddRemove(t *testing.T) {
+	a, b := &countingObserver{}, &countingObserver{}
+	AddObserver(a)
+	AddObserver(b)
+	l := &Lock{}
+	l.Lock()
+	l.Unlock()
+	RemoveObserver(a)
+	l.Lock()
+	l.Unlock()
+	RemoveObserver(b)
+	l.Lock() // no observers registered: must not panic, must not count
+	l.Unlock()
+	RemoveObserver(a) // removing twice is a no-op
+
+	if a.acquired.Load() != 1 {
+		t.Fatalf("removed observer kept counting: %d", a.acquired.Load())
+	}
+	if b.acquired.Load() != 2 {
+		t.Fatalf("second observer count = %d, want 2", b.acquired.Load())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddObserver(nil) did not panic")
+		}
+	}()
+	AddObserver(nil)
+}

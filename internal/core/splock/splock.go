@@ -66,6 +66,10 @@ type Lock struct {
 	// protected by the lock itself (written after acquire, consumed at
 	// release).
 	acquiredAt int64
+	// hold is the sampled holder identity waiters blame their spin time
+	// on; published (1-in-N) after a traced acquisition, cleared at
+	// release. See trace.HoldInfo.
+	hold atomic.Pointer[trace.HoldInfo]
 }
 
 var _ Mutex = (*Lock)(nil)
@@ -85,12 +89,16 @@ func (l *Lock) Lock() {
 	}
 	if atomic.CompareAndSwapInt32(&l.state, 0, 1) {
 		simhook.Note(simhook.SpAcquired, l, 0)
+		obAcquired(l, false)
 		return
 	}
+	obWaiting(l)
 	for {
 		if atomic.LoadInt32(&l.state) == 0 &&
 			atomic.CompareAndSwapInt32(&l.state, 0, 1) {
 			simhook.Note(simhook.SpAcquired, l, 0)
+			obDoneWaiting(l)
+			obAcquired(l, true)
 			return
 		}
 		if simhook.Enabled() {
@@ -109,20 +117,31 @@ func (l *Lock) Lock() {
 func (l *Lock) lockTraced() {
 	if atomic.CompareAndSwapInt32(&l.state, 0, 1) {
 		l.acquiredAt = time.Now().UnixNano()
+		l.publishHold()
 		l.class.Acquired(false, 0)
 		simhook.Note(simhook.SpAcquired, l, 0)
+		obAcquired(l, false)
 		return
 	}
 	start := time.Now()
+	// Blame is pinned to the holder visible when the spin began; by the
+	// time we win the lock the blame target has (by definition) released.
+	blamed := l.hold.Load()
 	l.class.Waiting()
+	obWaiting(l)
 	for {
 		if atomic.LoadInt32(&l.state) == 0 &&
 			atomic.CompareAndSwapInt32(&l.state, 0, 1) {
 			waitNs := time.Since(start).Nanoseconds()
 			l.acquiredAt = time.Now().UnixNano()
+			l.publishHold()
 			l.class.DoneWaiting(waitNs)
+			l.class.BlameWait(blamed, waitNs)
 			l.class.Acquired(true, waitNs)
+			l.class.WaitSampled(1, waitNs)
 			simhook.Note(simhook.SpAcquired, l, 0)
+			obDoneWaiting(l)
+			obAcquired(l, true)
 			return
 		}
 		if simhook.Enabled() {
@@ -130,6 +149,18 @@ func (l *Lock) lockTraced() {
 		} else {
 			runtime.Gosched()
 		}
+	}
+}
+
+// publishHold samples this acquisition for holder blame (1-in-N captures
+// the acquiring stack); called by the new holder right after the
+// test-and-set, so the store is ordered before any waiter's blame load
+// could matter. Spin locks have no thread identity, so the published tid
+// is 0.
+func (l *Lock) publishHold() {
+	if h := l.class.SampleHold(1, 0); h != nil {
+		h.Since = time.Now().UnixNano()
+		l.hold.Store(h)
 	}
 }
 
@@ -142,23 +173,38 @@ func (l *Lock) Unlock() {
 	simhook.Yield(simhook.SpUnlock, l)
 	if l.class != nil {
 		// Consume the acquisition stamp unconditionally so a toggle of
-		// tracing mid-hold cannot leave a stale timestamp behind.
+		// tracing mid-hold cannot leave a stale timestamp behind. A
+		// published hold implies a traced acquisition, which always
+		// stamps, so the hold retire nests under the stamp check and the
+		// untraced unlock pays nothing for it. Load-then-swap: the common
+		// unlock (no hold published — tracing off or unsampled) pays one
+		// plain load, not an atomic RMW. Not racy: only the current
+		// holder publishes, and we are the holder.
 		holdNs := int64(-1)
+		var h *trace.HoldInfo
 		if at := l.acquiredAt; at != 0 {
 			l.acquiredAt = 0
 			holdNs = time.Now().UnixNano() - at
+			if l.hold.Load() != nil {
+				h = l.hold.Swap(nil)
+			}
 		}
 		if atomic.SwapInt32(&l.state, 0) != 1 {
 			panic("splock: unlock of unlocked simple lock")
 		}
 		l.class.Released(holdNs)
+		if holdNs >= 0 {
+			l.class.EndHold(h, holdNs)
+		}
 		simhook.Note(simhook.SpReleased, l, 0)
+		obReleased(l)
 		return
 	}
 	if atomic.SwapInt32(&l.state, 0) != 1 {
 		panic("splock: unlock of unlocked simple lock")
 	}
 	simhook.Note(simhook.SpReleased, l, 0)
+	obReleased(l)
 }
 
 // TryLock makes a single attempt to acquire the lock (simple_lock_try),
@@ -176,8 +222,10 @@ func (l *Lock) TryLock() bool {
 	simhook.Note(simhook.SpAcquired, l, 0)
 	if l.class.On() {
 		l.acquiredAt = time.Now().UnixNano()
+		l.publishHold()
 		l.class.Acquired(false, 0)
 	}
+	obAcquired(l, false)
 	return true
 }
 

@@ -27,6 +27,10 @@ import (
 // traffic under one observability class.
 var classPort = trace.NewClass("ipc", "ipc.port", trace.KindObject)
 
+// opSend spans one message send end to end (see trace.BeginSpan); used by
+// SendFrom, the thread-identified send the RPC paths go through.
+var opSend = trace.NewOp("ipc", "op.send")
+
 // Kind identifies the kernel object class behind a port, used by the RPC
 // dispatcher to pick a handler table.
 type Kind int
@@ -186,6 +190,17 @@ func (p *Port) Send(msg *Message) error {
 	}
 	p.msgs = append(p.msgs, msg)
 	return nil
+}
+
+// SendFrom is Send with a thread identity: the enqueue is bracketed by an
+// operation span, so its latency — and any lock wait inside it — lands in
+// the ipc/op.send profile and on t's timeline track. Semantics are
+// otherwise identical to Send.
+func (p *Port) SendFrom(t *sched.Thread, msg *Message) error {
+	sp := trace.BeginSpan(t, opSend)
+	err := p.Send(msg)
+	sp.End()
+	return err
 }
 
 // Receive dequeues the next message, blocking the calling thread until one

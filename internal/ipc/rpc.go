@@ -155,7 +155,7 @@ func (s *Server) Serve(t *sched.Thread, port *Port) {
 		}
 		reply := s.Dispatch(t, req)
 		if reply != nil {
-			if err := reply.Dest.Send(reply); err != nil {
+			if err := reply.Dest.SendFrom(t, reply); err != nil {
 				reply.Destroy()
 			}
 		}
@@ -179,7 +179,7 @@ func Call(t *sched.Thread, dest *Port, op int, body ...any) (*Message, error) {
 	reply := NewPort("reply")
 	defer reply.Destroy()
 	req := NewMessage(dest, reply, op, body...)
-	if err := dest.Send(req); err != nil {
+	if err := dest.SendFrom(t, req); err != nil {
 		req.Destroy()
 		return nil, err
 	}

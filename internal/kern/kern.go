@@ -28,6 +28,12 @@ import (
 var (
 	classTask   = trace.NewClass("kern", "kern.task", trace.KindObject)
 	classThread = trace.NewClass("kern", "kern.thread", trace.KindObject)
+
+	// Operation spans for the task lifecycle (see trace.BeginSpan).
+	// Creation has no calling kernel thread in this API, so its span is
+	// anonymous: latency is recorded, lock waits are not credited.
+	opTaskCreate    = trace.NewOp("kern", "op.task-create")
+	opTaskTerminate = trace.NewOp("kern", "op.task-terminate")
 )
 
 // ErrTerminated is returned by operations on a terminated task or thread.
@@ -65,6 +71,7 @@ type Thread struct {
 // NewTask creates a task with an empty address space over pool, a fresh
 // port name space, and a self port whose kernel object is the task.
 func NewTask(name string, pool *vm.PagePool) *Task {
+	defer trace.BeginSpan(nil, opTaskCreate).End()
 	t := &Task{
 		space: ipc.NewSpace(),
 		vmMap: vm.NewMap(pool),
@@ -225,6 +232,7 @@ func (th *Thread) Terminate(cur *sched.Thread) error {
 // Terminate runs the shutdown protocol on the task, terminating every
 // thread first. cur is the executing kernel thread.
 func (t *Task) Terminate(cur *sched.Thread) error {
+	defer trace.BeginSpan(cur, opTaskTerminate).End()
 	// Terminating the task terminates its threads; snapshot them first
 	// (references keep them valid across the unlock).
 	threads := t.Threads()

@@ -14,12 +14,22 @@ import (
 // server (http.ListenAndServe(addr, m.Handler()) or a sub-route of an
 // existing mux):
 //
-//	/debug/machlock/           index
-//	/debug/machlock/profiles   contention profiles (text; ?format=csv|vars)
-//	/debug/machlock/metrics    Prometheus text exposition
-//	/debug/machlock/waitgraph  wait-for graph (Graphviz DOT)
-//	/debug/machlock/incidents  incident log (text; ?format=json)
-//	/debug/machlock/ring       flight-recorder tail (?n=200)
+//	/debug/machlock/             index
+//	/debug/machlock/profiles     contention profiles (text; ?format=csv|vars)
+//	/debug/machlock/metrics      Prometheus text exposition
+//	/debug/machlock/waitgraph    wait-for graph (Graphviz DOT)
+//	/debug/machlock/incidents    incident log (text; ?format=json)
+//	/debug/machlock/ring         flight-recorder tail (?n=200)
+//	/debug/machlock/pprof/waits  waiter-stack profile (pprof proto, gzipped)
+//	/debug/machlock/pprof/holds  holder-stack hold-time profile (pprof proto)
+//	/debug/machlock/pprof/blame  holder-stack blamed-wait profile (pprof proto)
+//	/debug/machlock/timeline     flight recorder as Chrome trace-event JSON
+//
+// The pprof endpoints speak go tool pprof's native protocol:
+//
+//	go tool pprof http://host:port/debug/machlock/pprof/waits
+//
+// and the timeline loads directly into ui.perfetto.dev or chrome://tracing.
 //
 // All endpoints are read-only snapshots; hitting them never perturbs the
 // kernel beyond the snapshot reads themselves.
@@ -31,6 +41,8 @@ func (m *Monitor) Handler() http.Handler {
 	mux.HandleFunc("/debug/machlock/waitgraph", m.serveWaitGraph)
 	mux.HandleFunc("/debug/machlock/incidents", m.serveIncidents)
 	mux.HandleFunc("/debug/machlock/ring", m.serveRing)
+	mux.HandleFunc("/debug/machlock/pprof/", m.servePprof)
+	mux.HandleFunc("/debug/machlock/timeline", m.serveTimeline)
 	return mux
 }
 
@@ -43,11 +55,15 @@ func (m *Monitor) serveIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "machlock monitor (running=%v, ticks=%d, incidents=%d)\n\n",
 		m.Running(), m.Ticks(), m.log.Total())
 	fmt.Fprintln(w, "endpoints:")
-	fmt.Fprintln(w, "  /debug/machlock/profiles   contention profiles (?format=csv|vars)")
-	fmt.Fprintln(w, "  /debug/machlock/metrics    Prometheus text exposition")
-	fmt.Fprintln(w, "  /debug/machlock/waitgraph  wait-for graph (Graphviz DOT)")
-	fmt.Fprintln(w, "  /debug/machlock/incidents  incident log (?format=json)")
-	fmt.Fprintln(w, "  /debug/machlock/ring       flight-recorder tail (?n=200)")
+	fmt.Fprintln(w, "  /debug/machlock/profiles     contention profiles (?format=csv|vars)")
+	fmt.Fprintln(w, "  /debug/machlock/metrics      Prometheus text exposition")
+	fmt.Fprintln(w, "  /debug/machlock/waitgraph    wait-for graph (Graphviz DOT)")
+	fmt.Fprintln(w, "  /debug/machlock/incidents    incident log (?format=json)")
+	fmt.Fprintln(w, "  /debug/machlock/ring         flight-recorder tail (?n=200)")
+	fmt.Fprintln(w, "  /debug/machlock/pprof/waits  waiter-stack wait profile (go tool pprof)")
+	fmt.Fprintln(w, "  /debug/machlock/pprof/holds  holder-stack hold profile (go tool pprof)")
+	fmt.Fprintln(w, "  /debug/machlock/pprof/blame  holder-stack blamed-wait profile (go tool pprof)")
+	fmt.Fprintln(w, "  /debug/machlock/timeline     Chrome trace-event JSON (Perfetto)")
 }
 
 func (m *Monitor) serveProfiles(w http.ResponseWriter, r *http.Request) {
@@ -92,12 +108,58 @@ func (m *Monitor) writeOwnMetrics(w http.ResponseWriter) {
 	fmt.Fprintln(w, "# HELP machlock_monitor_incidents_dropped_total Incidents evicted from the bounded log.")
 	fmt.Fprintln(w, "# TYPE machlock_monitor_incidents_dropped_total counter")
 	fmt.Fprintf(w, "machlock_monitor_incidents_dropped_total %d\n", m.log.Dropped())
+	fmt.Fprintln(w, "# HELP machlock_monitor_splock_acquisitions_total Simple-lock acquisitions observed (monitor running).")
+	fmt.Fprintln(w, "# TYPE machlock_monitor_splock_acquisitions_total counter")
+	fmt.Fprintf(w, "machlock_monitor_splock_acquisitions_total %d\n", m.spc.acquired.Load())
+	fmt.Fprintln(w, "# HELP machlock_monitor_splock_contended_total Observed simple-lock acquisitions that spun.")
+	fmt.Fprintln(w, "# TYPE machlock_monitor_splock_contended_total counter")
+	fmt.Fprintf(w, "machlock_monitor_splock_contended_total %d\n", m.spc.contended.Load())
+	fmt.Fprintln(w, "# HELP machlock_monitor_splock_releases_total Simple-lock releases observed.")
+	fmt.Fprintln(w, "# TYPE machlock_monitor_splock_releases_total counter")
+	fmt.Fprintf(w, "machlock_monitor_splock_releases_total %d\n", m.spc.released.Load())
+	fmt.Fprintln(w, "# HELP machlock_monitor_splock_spinners Threads currently spinning on a simple lock.")
+	fmt.Fprintln(w, "# TYPE machlock_monitor_splock_spinners gauge")
+	fmt.Fprintf(w, "machlock_monitor_splock_spinners %d\n", m.spc.spinning.Load())
 	if started := m.startedAt.Load(); started != 0 {
 		fmt.Fprintln(w, "# HELP machlock_monitor_uptime_seconds Seconds since the watchdog started.")
 		fmt.Fprintln(w, "# TYPE machlock_monitor_uptime_seconds gauge")
 		fmt.Fprintf(w, "machlock_monitor_uptime_seconds %.3f\n",
 			time.Since(time.Unix(0, started)).Seconds())
 	}
+}
+
+// servePprof serves the three site profiles in pprof's wire format. The
+// path selects the kind: pprof/waits, pprof/holds, pprof/blame.
+func (m *Monitor) servePprof(w http.ResponseWriter, r *http.Request) {
+	var kind trace.SiteKind
+	switch r.URL.Path {
+	case "/debug/machlock/pprof/waits":
+		kind = trace.SiteWaits
+	case "/debug/machlock/pprof/holds":
+		kind = trace.SiteHolds
+	case "/debug/machlock/pprof/blame":
+		kind = trace.SiteBlame
+	default:
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf(`attachment; filename="machlock-%s.pb.gz"`, kind))
+	trace.WritePprof(w, kind)
+}
+
+// serveTimeline serves the flight-recorder tail as Chrome trace-event
+// JSON; ?n bounds the number of events (default the whole ring).
+func (m *Monitor) serveTimeline(w http.ResponseWriter, r *http.Request) {
+	n := 0 // 0 = everything the ring retains
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	trace.WriteTimeline(w, trace.Events(n))
 }
 
 func (m *Monitor) serveWaitGraph(w http.ResponseWriter, r *http.Request) {

@@ -23,7 +23,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"machlock/internal/core/splock"
 	"machlock/internal/deadlock"
+	"machlock/internal/opspan"
 	"machlock/internal/trace"
 )
 
@@ -79,6 +81,7 @@ type Monitor struct {
 	cfg     Config
 	tracker *deadlock.Tracker
 	log     *IncidentLog
+	spc     spCensus
 
 	ticks     atomic.Int64
 	byKind    [4]atomic.Int64 // indexed by kindIndex
@@ -91,6 +94,30 @@ type Monitor struct {
 	stop     chan struct{}
 	done     chan struct{}
 }
+
+// spCensus is the monitor's simple-lock observer: an aggregate census of
+// spin-lock traffic (PR 3 noted spin locks were invisible to the monitor;
+// the splock observer fan-out closes that). Counts are monitor-lifetime —
+// collection starts at Start and pauses at Stop.
+type spCensus struct {
+	acquired  atomic.Int64
+	contended atomic.Int64
+	released  atomic.Int64
+	spinning  atomic.Int64 // threads currently in a contended spin
+}
+
+func (c *spCensus) Acquired(l *splock.Lock, contended bool) {
+	c.acquired.Add(1)
+	if contended {
+		c.contended.Add(1)
+	}
+}
+
+func (c *spCensus) Released(l *splock.Lock) { c.released.Add(1) }
+
+func (c *spCensus) Waiting(l *splock.Lock) { c.spinning.Add(1) }
+
+func (c *spCensus) DoneWaiting(l *splock.Lock) { c.spinning.Add(-1) }
 
 func kindIndex(k IncidentKind) int {
 	switch k {
@@ -140,8 +167,9 @@ func (m *Monitor) Running() bool {
 }
 
 // Start enables tracing (if it was off), installs the deadlock tracker as
-// a cxlock observer, and launches the watchdog goroutine. Idempotent while
-// running.
+// a cxlock observer, the span-wait bridge (internal/opspan), and the
+// simple-lock census observer, and launches the watchdog goroutine.
+// Idempotent while running.
 func (m *Monitor) Start() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -153,6 +181,8 @@ func (m *Monitor) Start() {
 		m.ownTrace = true
 	}
 	m.tracker.Install()
+	opspan.Install()
+	splock.AddObserver(&m.spc)
 	m.stop = make(chan struct{})
 	m.done = make(chan struct{})
 	m.running = true
@@ -177,6 +207,8 @@ func (m *Monitor) Stop() {
 	<-done
 
 	m.tracker.Uninstall()
+	splock.RemoveObserver(&m.spc)
+	opspan.Uninstall()
 	m.mu.Lock()
 	if m.ownTrace {
 		trace.Disable()

@@ -1,0 +1,59 @@
+// Package opspan bridges the complex-lock observer fan-out to the
+// operation-span engine: while a thread has a span open (trace.BeginSpan),
+// every cxlock wait it performs is credited to that span, so the span's
+// latency splits into lock-wait and work without the lock code knowing
+// anything about spans.
+//
+// The bridge is an ordinary cxlock.Observer, installed alongside the
+// deadlock tracker and the continuous monitor. Its cost when no span is
+// open anywhere is one atomic load per wait event (see trace.SpanWaitStart)
+// — and wait events are already off every fast path.
+package opspan
+
+import (
+	"sync"
+
+	"machlock/internal/core/cxlock"
+	"machlock/internal/sched"
+	"machlock/internal/trace"
+)
+
+// bridge forwards wait brackets to the span engine. Acquired/Released are
+// uninteresting: span accounting needs only the time spent waiting.
+type bridge struct{}
+
+func (bridge) Acquired(l *cxlock.Lock, t *sched.Thread) {}
+func (bridge) Released(l *cxlock.Lock, t *sched.Thread) {}
+
+func (bridge) Waiting(l *cxlock.Lock, t *sched.Thread) { trace.SpanWaitStart(t) }
+
+func (bridge) DoneWaiting(l *cxlock.Lock, t *sched.Thread) { trace.SpanWaitEnd(t) }
+
+var (
+	mu        sync.Mutex
+	installed bool
+	inst      bridge
+)
+
+// Install registers the bridge with the cxlock observer fan-out.
+// Idempotent: extra calls are no-ops, so every surface that needs span
+// accounting (the monitor, locktrace, tests) can call it unconditionally.
+func Install() {
+	mu.Lock()
+	defer mu.Unlock()
+	if !installed {
+		cxlock.AddObserver(inst)
+		installed = true
+	}
+}
+
+// Uninstall removes the bridge. Spans already open keep any wait time
+// credited so far; subsequent waits go uncredited.
+func Uninstall() {
+	mu.Lock()
+	defer mu.Unlock()
+	if installed {
+		cxlock.RemoveObserver(inst)
+		installed = false
+	}
+}

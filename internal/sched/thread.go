@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"machlock/internal/trace"
 )
 
 // Event identifies an occurrence a thread may wait for. In Mach an event is
@@ -77,6 +79,7 @@ const (
 // on its own goroutine).
 type Thread struct {
 	name string
+	tid  uint32 // trace.RegisterThread id, for timeline tracks and blame
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -106,7 +109,7 @@ type Thread struct {
 // from whatever goroutine is currently "being" the thread; the caller is
 // responsible for using one goroutine at a time.
 func New(name string) *Thread {
-	t := &Thread{name: name, done: make(chan struct{})}
+	t := &Thread{name: name, tid: trace.RegisterThread(name), done: make(chan struct{})}
 	t.cond = sync.NewCond(&t.mu)
 	close(t.done) // a bare thread is not joinable-pending
 	return t
@@ -115,7 +118,7 @@ func New(name string) *Thread {
 // Go creates a thread and runs body on a new goroutine. Join waits for the
 // body to return. A panic in the body is captured and re-raised by Join.
 func Go(name string, body func(t *Thread)) *Thread {
-	t := &Thread{name: name, done: make(chan struct{})}
+	t := &Thread{name: name, tid: trace.RegisterThread(name), done: make(chan struct{})}
 	t.cond = sync.NewCond(&t.mu)
 	go func() {
 		defer func() {
@@ -140,6 +143,11 @@ func (t *Thread) Join() {
 
 // Name returns the thread's name.
 func (t *Thread) Name() string { return t.name }
+
+// TraceID returns the thread's trace id (see trace.RegisterThread). It
+// satisfies trace.Identifiable, so spans opened by this thread land on its
+// timeline track and lock events it records carry its identity.
+func (t *Thread) TraceID() uint32 { return t.tid }
 
 // String implements fmt.Stringer.
 func (t *Thread) String() string { return "thread(" + t.name + ")" }

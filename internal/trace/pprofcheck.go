@@ -1,0 +1,392 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// This file is the read side of pprof.go: a minimal profile.proto decoder
+// used by tests and by the monitor smoke (cmd/lockmon, CI) to validate
+// that an exported profile actually parses and to inspect its function
+// names without shelling out to `go tool pprof`. It decodes only what the
+// checks need — sample types, samples with resolved function names, and
+// label strings — and rejects structurally invalid input loudly.
+
+// PprofProfile is the decoded subset of a profile.proto.
+type PprofProfile struct {
+	SampleTypes []string // "type/unit" per sample_type entry
+	Samples     []PprofSampleView
+	Strings     []string
+}
+
+// PprofSampleView is one decoded sample: resolved leaf-first function
+// names, the values, and the string labels.
+type PprofSampleView struct {
+	Funcs  []string
+	Values []int64
+	Labels map[string]string
+}
+
+// ParsePprof decodes a (possibly gzipped) profile.proto produced by
+// WritePprof (or by runtime/pprof), returning an error for any structural
+// violation: truncated varints, out-of-range string indices, unresolved
+// location or function ids, or value arity differing from the declared
+// sample types.
+func ParsePprof(data []byte) (*PprofProfile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		gz, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("gzip: %w", err)
+		}
+		raw, err := io.ReadAll(gz)
+		if err != nil {
+			return nil, fmt.Errorf("gunzip: %w", err)
+		}
+		data = raw
+	}
+
+	d := &protoDec{data: data}
+
+	type rawSample struct {
+		locs   []uint64
+		values []int64
+		labels [][2]int64
+	}
+	type rawLoc struct {
+		id      uint64
+		funcIDs []uint64
+	}
+	type rawFunc struct {
+		id   uint64
+		name int64
+	}
+	var (
+		sampleTypes [][2]int64
+		samples     []rawSample
+		locs        []rawLoc
+		funcs       []rawFunc
+		strs        []string
+	)
+
+	for !d.done() {
+		field, wire, err := d.key()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // sample_type
+			sub, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			st := [2]int64{}
+			if err := walkMsg(sub, func(f int, v uint64, b []byte) {
+				if f == 1 {
+					st[0] = int64(v)
+				}
+				if f == 2 {
+					st[1] = int64(v)
+				}
+			}); err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, st)
+		case 2: // sample
+			sub, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			var s rawSample
+			if err := walkMsg(sub, func(f int, v uint64, b []byte) {
+				switch f {
+				case 1:
+					if b != nil {
+						s.locs = append(s.locs, unpackUints(b)...)
+					} else {
+						s.locs = append(s.locs, v)
+					}
+				case 2:
+					if b != nil {
+						for _, u := range unpackUints(b) {
+							s.values = append(s.values, int64(u))
+						}
+					} else {
+						s.values = append(s.values, int64(v))
+					}
+				case 3:
+					lb := [2]int64{}
+					walkMsg(b, func(lf int, lv uint64, _ []byte) {
+						if lf == 1 {
+							lb[0] = int64(lv)
+						}
+						if lf == 2 {
+							lb[1] = int64(lv)
+						}
+					})
+					s.labels = append(s.labels, lb)
+				}
+			}); err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			sub, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			var l rawLoc
+			if err := walkMsg(sub, func(f int, v uint64, b []byte) {
+				switch f {
+				case 1:
+					l.id = v
+				case 4: // line
+					walkMsg(b, func(lf int, lv uint64, _ []byte) {
+						if lf == 1 {
+							l.funcIDs = append(l.funcIDs, lv)
+						}
+					})
+				}
+			}); err != nil {
+				return nil, err
+			}
+			locs = append(locs, l)
+		case 5: // function
+			sub, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			var fn rawFunc
+			if err := walkMsg(sub, func(f int, v uint64, b []byte) {
+				if f == 1 {
+					fn.id = v
+				}
+				if f == 2 {
+					fn.name = int64(v)
+				}
+			}); err != nil {
+				return nil, err
+			}
+			funcs = append(funcs, fn)
+		case 6: // string_table
+			sub, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			strs = append(strs, string(sub))
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(ix int64) (string, error) {
+		if ix < 0 || int(ix) >= len(strs) {
+			return "", fmt.Errorf("pprof: string index %d out of range (%d strings)", ix, len(strs))
+		}
+		return strs[ix], nil
+	}
+	funcName := map[uint64]string{}
+	for _, fn := range funcs {
+		name, err := str(fn.name)
+		if err != nil {
+			return nil, err
+		}
+		funcName[fn.id] = name
+	}
+	locFuncs := map[uint64][]string{}
+	for _, l := range locs {
+		var names []string
+		for _, fid := range l.funcIDs {
+			name, ok := funcName[fid]
+			if !ok {
+				return nil, fmt.Errorf("pprof: location %d references unknown function %d", l.id, fid)
+			}
+			names = append(names, name)
+		}
+		locFuncs[l.id] = names
+	}
+
+	out := &PprofProfile{Strings: strs}
+	for _, st := range sampleTypes {
+		t, err := str(st[0])
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(st[1])
+		if err != nil {
+			return nil, err
+		}
+		out.SampleTypes = append(out.SampleTypes, t+"/"+u)
+	}
+	for i, s := range samples {
+		if len(s.values) != len(sampleTypes) {
+			return nil, fmt.Errorf("pprof: sample %d has %d values, want %d", i, len(s.values), len(sampleTypes))
+		}
+		v := PprofSampleView{Values: s.values, Labels: map[string]string{}}
+		for _, id := range s.locs {
+			names, ok := locFuncs[id]
+			if !ok {
+				return nil, fmt.Errorf("pprof: sample %d references unknown location %d", i, id)
+			}
+			v.Funcs = append(v.Funcs, names...)
+		}
+		for _, lb := range s.labels {
+			k, err := str(lb[0])
+			if err != nil {
+				return nil, err
+			}
+			val, err := str(lb[1])
+			if err != nil {
+				return nil, err
+			}
+			v.Labels[k] = val
+		}
+		out.Samples = append(out.Samples, v)
+	}
+	return out, nil
+}
+
+// FindSample returns the first sample whose resolved function names
+// include a function containing substr, or nil.
+func (p *PprofProfile) FindSample(substr string) *PprofSampleView {
+	for i := range p.Samples {
+		for _, fn := range p.Samples[i].Funcs {
+			if contains(fn, substr) {
+				return &p.Samples[i]
+			}
+		}
+	}
+	return nil
+}
+
+func contains(s, sub string) bool {
+	return len(sub) == 0 || (len(s) >= len(sub) && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// protoDec walks the outer message.
+type protoDec struct {
+	data []byte
+	pos  int
+}
+
+func (d *protoDec) done() bool { return d.pos >= len(d.data) }
+
+func (d *protoDec) varint() (uint64, error) {
+	var v uint64
+	for shift := 0; ; shift += 7 {
+		if d.pos >= len(d.data) {
+			return 0, fmt.Errorf("pprof: truncated varint at %d", d.pos)
+		}
+		if shift >= 64 {
+			return 0, fmt.Errorf("pprof: varint overflow at %d", d.pos)
+		}
+		b := d.data[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+}
+
+func (d *protoDec) key() (field, wire int, err error) {
+	k, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(k >> 3), int(k & 7), nil
+}
+
+func (d *protoDec) bytes(wire int) ([]byte, error) {
+	if wire != 2 {
+		return nil, fmt.Errorf("pprof: expected length-delimited field, got wire type %d", wire)
+	}
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos+int(n) > len(d.data) {
+		return nil, fmt.Errorf("pprof: truncated field (%d bytes wanted, %d left)", n, len(d.data)-d.pos)
+	}
+	b := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+func (d *protoDec) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := d.varint()
+		return err
+	case 1:
+		d.pos += 8
+	case 2:
+		_, err := d.bytes(wire)
+		return err
+	case 5:
+		d.pos += 4
+	default:
+		return fmt.Errorf("pprof: unsupported wire type %d", wire)
+	}
+	if d.pos > len(d.data) {
+		return fmt.Errorf("pprof: truncated fixed-width field")
+	}
+	return nil
+}
+
+// walkMsg iterates a submessage's fields, handing each to f: varint fields
+// pass (field, value, nil); length-delimited fields pass (field, 0, bytes).
+func walkMsg(data []byte, f func(field int, v uint64, b []byte)) error {
+	d := &protoDec{data: data}
+	for !d.done() {
+		field, wire, err := d.key()
+		if err != nil {
+			return err
+		}
+		switch wire {
+		case 0:
+			v, err := d.varint()
+			if err != nil {
+				return err
+			}
+			f(field, v, nil)
+		case 2:
+			b, err := d.bytes(wire)
+			if err != nil {
+				return err
+			}
+			f(field, 0, b)
+		default:
+			if err := d.skip(wire); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// unpackUints decodes a packed repeated varint field.
+func unpackUints(data []byte) []uint64 {
+	d := &protoDec{data: data}
+	var out []uint64
+	for !d.done() {
+		v, err := d.varint()
+		if err != nil {
+			return out
+		}
+		out = append(out, v)
+	}
+	return out
+}

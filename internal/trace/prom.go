@@ -75,7 +75,56 @@ func WriteProm(w io.Writer, profiles []Profile) error {
 	p.family("machlock_hierarchy_violations_total", "Lock-ordering violations reported by splock.Hierarchy checkers.", "counter")
 	p.bare("machlock_hierarchy_violations_total", "", float64(HierarchyViolations()))
 
+	p.ops(OpProfiles())
+
 	return p.err
+}
+
+// ops renders the operation-span families: per-op latency with the
+// wait/work split the span engine accounts. Labels are {pkg, op}.
+func (p *promWriter) ops(ops []OpProfile) {
+	opSample := func(name string, o OpProfile, extra string, v float64) {
+		if p.err != nil {
+			return
+		}
+		labels := fmt.Sprintf("pkg=%q,op=%q", o.Pkg, o.Name)
+		if extra != "" {
+			labels += "," + extra
+		}
+		_, p.err = fmt.Fprintf(p.w, "%s{%s} %s\n", name, labels, promFloat(v))
+	}
+
+	p.family("machlock_op_total", "Completed operation spans.", "counter")
+	for _, o := range ops {
+		opSample("machlock_op_total", o, "", float64(o.Count))
+	}
+	p.family("machlock_op_contended_total", "Operation spans that waited on at least one lock.", "counter")
+	for _, o := range ops {
+		opSample("machlock_op_contended_total", o, "", float64(o.Contended))
+	}
+	p.family("machlock_op_latency_ns", "Operation latency quantiles (ns).", "gauge")
+	for _, o := range ops {
+		opSample("machlock_op_latency_ns", o, `quantile="0.5"`, float64(o.P50Ns))
+		opSample("machlock_op_latency_ns", o, `quantile="0.99"`, float64(o.P99Ns))
+	}
+	p.family("machlock_op_latency_ns_mean", "Mean operation latency (ns).", "gauge")
+	for _, o := range ops {
+		opSample("machlock_op_latency_ns_mean", o, "", float64(o.MeanNs))
+	}
+	p.family("machlock_op_latency_ns_max", "Maximum observed operation latency (ns).", "gauge")
+	for _, o := range ops {
+		opSample("machlock_op_latency_ns_max", o, "", float64(o.MaxNs))
+	}
+	p.family("machlock_op_lock_wait_ns", "In-span lock wait quantiles (ns).", "gauge")
+	for _, o := range ops {
+		opSample("machlock_op_lock_wait_ns", o, `quantile="0.5"`, float64(o.P50WaitNs))
+		opSample("machlock_op_lock_wait_ns", o, `quantile="0.99"`, float64(o.P99WaitNs))
+	}
+	p.family("machlock_op_work_ns", "In-span work (latency minus lock wait) quantiles (ns).", "gauge")
+	for _, o := range ops {
+		opSample("machlock_op_work_ns", o, `quantile="0.5"`, float64(o.P50WorkNs))
+		opSample("machlock_op_work_ns", o, `quantile="0.99"`, float64(o.P99WorkNs))
+	}
 }
 
 // promWriter accumulates the exposition, sticky-erroring so the families

@@ -24,6 +24,8 @@ const (
 	OpDeactivate           // object deactivated (active termination)
 	OpBiasRevoke           // reader bias revoked by a write request
 	OpViolation            // lock-ordering violation; Arg = running count
+	OpSpanBegin            // operation span opened (trace.BeginSpan)
+	OpSpanEnd              // operation span closed; Arg = total ns
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +53,10 @@ func (o Op) String() string {
 		return "bias-revoke"
 	case OpViolation:
 		return "violation"
+	case OpSpanBegin:
+		return "span-begin"
+	case OpSpanEnd:
+		return "span-end"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -62,6 +68,7 @@ type Event struct {
 	Class  *Class // registered class (nil only if the registry was reset)
 	Op     Op
 	Arg    int64  // op-specific payload, see the Op constants
+	TID    uint32 // recording thread's trace id (RegisterThread); 0 = anonymous
 	Shard  int    // recorder shard the event landed in
 	Seq    uint64 // shard-local sequence number (1-based)
 }
@@ -71,6 +78,9 @@ func (e Event) String() string {
 	name := "?"
 	if e.Class != nil {
 		name = e.Class.pkg + "/" + e.Class.name
+	}
+	if e.TID != 0 {
+		return fmt.Sprintf("%d %-28s %-11s arg=%d tid=%d(%s)", e.TimeNs, name, e.Op, e.Arg, e.TID, ThreadName(e.TID))
 	}
 	return fmt.Sprintf("%d %-28s %-11s arg=%d", e.TimeNs, name, e.Op, e.Arg)
 }
@@ -84,7 +94,7 @@ func (e Event) String() string {
 type slot struct {
 	seq  atomic.Uint64 // shard ticket of the occupying event; 0 = in flux
 	time atomic.Int64
-	meta atomic.Uint64 // class id << 8 | op
+	meta atomic.Uint64 // tid << 32 | class id << 8 | op
 	arg  atomic.Int64
 }
 
@@ -146,13 +156,15 @@ func shardHint() int {
 
 // emit records one event. Callers have already verified tracing is on;
 // recording is wait-free: one atomic cursor bump plus atomic slot stores.
-func emit(classID uint32, op Op, arg int64) {
+// tid is the recording thread's trace id (0 = anonymous); class ids above
+// 24 bits would collide with it, far beyond any real registry size.
+func emit(classID uint32, op Op, arg int64, tid uint32) {
 	sh := &rec.Load().shards[shardHint()]
 	t := sh.pos.Add(1)
 	sl := &sh.slots[(t-1)%uint64(len(sh.slots))]
 	sl.seq.Store(0) // invalidate while the payload is in flux
 	sl.time.Store(time.Now().UnixNano())
-	sl.meta.Store(uint64(classID)<<8 | uint64(op))
+	sl.meta.Store(uint64(tid)<<32 | uint64(classID&0xffffff)<<8 | uint64(op))
 	sl.arg.Store(arg)
 	sl.seq.Store(t)
 }
@@ -180,9 +192,10 @@ func Events(max int) []Event {
 			}
 			out = append(out, Event{
 				TimeNs: ts,
-				Class:  classByID(uint32(meta >> 8)),
+				Class:  classByID(uint32(meta>>8) & 0xffffff),
 				Op:     Op(meta & 0xff),
 				Arg:    arg,
+				TID:    uint32(meta >> 32),
 				Shard:  si,
 				Seq:    seq,
 			})

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file renders the flight-recorder ring as Chrome trace-event JSON
+// (the "JSON Array Format" both chrome://tracing and ui.perfetto.dev
+// ingest): one track per registered kernel thread, complete slices for
+// hold / wait / span intervals, instants for the point events. Load the
+// output of /debug/machlock/timeline straight into Perfetto.
+//
+// The ring stores single events, not paired begin/end markers, so slices
+// are derived from the completed-interval events that carry a duration:
+//
+//	OpRelease  arg=hold ns  → "hold <class>" slice ending at the event
+//	OpDoneWait arg=wait ns  → "wait <class>" slice ending at the event
+//	OpSpanEnd  arg=total ns → "<op class>"   slice ending at the event
+//
+// That keeps the export single-pass and immune to a begin marker having
+// been overwritten in the ring while its end survived. OpSpanBegin and
+// OpAcquire/OpWait are dropped (their information is in the completed
+// interval); the remaining ops become instant events on their thread's
+// track.
+
+// timelinePid is the synthetic process id carrying all machlock tracks.
+const timelinePid = 1
+
+// WriteTimeline writes events as Chrome trace-event JSON. Events with
+// TID 0 (spin-lock sites and other anonymous recordings) share the
+// "(anonymous)" track. Timestamps are microseconds relative to the
+// earliest event so the viewer doesn't start zoomed out to epoch scale.
+func WriteTimeline(w io.Writer, events []Event) error {
+	var b strings.Builder
+	b.Grow(256 + len(events)*128)
+	b.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	put := func(format string, args ...any) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, format, args...)
+	}
+
+	put(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"machlock"}}`, timelinePid)
+
+	// Thread-name metadata for every registered thread plus the shared
+	// anonymous track. Chrome sorts tids numerically, so registration
+	// order is track order.
+	put(`{"ph":"M","pid":%d,"tid":0,"name":"thread_name","args":{"name":"(anonymous)"}}`, timelinePid)
+	n := threadCount()
+	for tid := 1; tid <= n; tid++ {
+		put(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			timelinePid, tid, jsonString(ThreadName(uint32(tid))))
+	}
+
+	var base int64
+	if len(events) > 0 {
+		base = events[0].TimeNs
+		for _, e := range events[1:] {
+			if e.TimeNs < base {
+				base = e.TimeNs
+			}
+		}
+	}
+	// microseconds, preserving sub-µs as fractional (the format allows it)
+	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	for _, e := range events {
+		cls := "?"
+		if e.Class != nil {
+			cls = e.Class.pkg + "/" + e.Class.name
+		}
+		switch e.Op {
+		case OpRelease:
+			if e.Arg < 0 {
+				// hold duration unknown (lock handed off without a
+				// stamped acquisition) — render as an instant instead.
+				put(`{"ph":"i","pid":%d,"tid":%d,"ts":%.3f,"s":"t","name":%s,"cat":"lock"}`,
+					timelinePid, e.TID, us(e.TimeNs), jsonString("release "+cls))
+				continue
+			}
+			put(`{"ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"name":%s,"cat":"hold"}`,
+				timelinePid, e.TID, us(e.TimeNs-e.Arg), float64(e.Arg)/1e3, jsonString("hold "+cls))
+		case OpDoneWait:
+			put(`{"ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"name":%s,"cat":"wait"}`,
+				timelinePid, e.TID, us(e.TimeNs-e.Arg), float64(e.Arg)/1e3, jsonString("wait "+cls))
+		case OpSpanEnd:
+			put(`{"ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"name":%s,"cat":"op"}`,
+				timelinePid, e.TID, us(e.TimeNs-e.Arg), float64(e.Arg)/1e3, jsonString(cls))
+		case OpAcquire, OpWait, OpSpanBegin:
+			// Subsumed by the completed-interval events above.
+		default:
+			put(`{"ph":"i","pid":%d,"tid":%d,"ts":%.3f,"s":"t","name":%s,"cat":"event","args":{"arg":%d}}`,
+				timelinePid, e.TID, us(e.TimeNs), jsonString(e.Op.String()+" "+cls), e.Arg)
+		}
+	}
+
+	b.WriteString("]}")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonString escapes s as a JSON string literal. Class and thread names
+// are plain identifiers in practice, but the escape keeps the output
+// well-formed for any input.
+func jsonString(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -48,6 +48,7 @@ const (
 	KindComplex             // cxlock readers/writer locks
 	KindRef                 // bare reference counts
 	KindObject              // object.Object (lock + refcount + deactivate)
+	KindOp                  // operation span classes (NewOp): vm.fault, ipc.send, ...
 )
 
 // String implements fmt.Stringer.
@@ -61,6 +62,8 @@ func (k Kind) String() string {
 		return "ref"
 	case KindObject:
 		return "object"
+	case KindOp:
+		return "op"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -105,6 +108,21 @@ type Class struct {
 	biasRevokes    stats.Counter
 	hold           stats.Histogram
 	wait           stats.Histogram
+	// work is used only by KindOp classes: the span's latency net of lock
+	// waiting (hold = total latency, wait = lock wait, work = difference,
+	// sampled per completed span so its quantiles are real, not derived).
+	work stats.Histogram
+
+	// sampleCtr drives the deterministic 1-in-StackSampling stack capture
+	// of the attribution layer (stack.go).
+	sampleCtr atomic.Uint64
+
+	// The three stack-keyed site profiles (stack.go): contended waits by
+	// waiter stack, holds by holder stack, and waiter delay blamed on the
+	// holder stack that caused it.
+	waitSites  siteProfile
+	holdSites  siteProfile
+	blameSites siteProfile
 
 	// live is the census gauge: instances of this class currently alive
 	// (objects created and not yet destroyed, zone elements constructed).
@@ -188,6 +206,13 @@ func (c *Class) On() bool { return c != nil && enabled.Load() }
 // acquisition that did not succeed on the first attempt; waitNs (>= 0) is
 // how long it waited.
 func (c *Class) Acquired(contended bool, waitNs int64) {
+	c.AcquiredBy(0, contended, waitNs)
+}
+
+// AcquiredBy is Acquired with the acquiring thread's trace id (see
+// RegisterThread), which stamps the flight-recorder event so the timeline
+// export can place it on the thread's track. tid 0 means anonymous.
+func (c *Class) AcquiredBy(tid uint32, contended bool, waitNs int64) {
 	if !c.On() {
 		return
 	}
@@ -196,12 +221,15 @@ func (c *Class) Acquired(contended bool, waitNs int64) {
 		c.contended.Inc()
 		c.wait.Observe(waitNs)
 	}
-	emit(c.id, OpAcquire, waitNs)
+	emit(c.id, OpAcquire, waitNs, tid)
 }
 
 // Released records one release with the hold time of the critical section
 // (holdNs < 0 means unknown; no hold sample is recorded).
-func (c *Class) Released(holdNs int64) {
+func (c *Class) Released(holdNs int64) { c.ReleasedBy(0, holdNs) }
+
+// ReleasedBy is Released with the releasing thread's trace id.
+func (c *Class) ReleasedBy(tid uint32, holdNs int64) {
 	if !c.On() {
 		return
 	}
@@ -209,23 +237,29 @@ func (c *Class) Released(holdNs int64) {
 	if holdNs >= 0 {
 		c.hold.Observe(holdNs)
 	}
-	emit(c.id, OpRelease, holdNs)
+	emit(c.id, OpRelease, holdNs, tid)
 }
 
 // Waiting records the start of a wait (sleep or spin) for the lock.
-func (c *Class) Waiting() {
+func (c *Class) Waiting() { c.WaitingBy(0) }
+
+// WaitingBy is Waiting with the waiting thread's trace id.
+func (c *Class) WaitingBy(tid uint32) {
 	if !c.On() {
 		return
 	}
-	emit(c.id, OpWait, 0)
+	emit(c.id, OpWait, 0, tid)
 }
 
 // DoneWaiting records the end of a wait; waitNs is the time spent waiting.
-func (c *Class) DoneWaiting(waitNs int64) {
+func (c *Class) DoneWaiting(waitNs int64) { c.DoneWaitingBy(0, waitNs) }
+
+// DoneWaitingBy is DoneWaiting with the waiting thread's trace id.
+func (c *Class) DoneWaitingBy(tid uint32, waitNs int64) {
 	if !c.On() {
 		return
 	}
-	emit(c.id, OpDoneWait, waitNs)
+	emit(c.id, OpDoneWait, waitNs, tid)
 }
 
 // Upgraded records a read-to-write upgrade attempt; ok reports whether it
@@ -236,10 +270,10 @@ func (c *Class) Upgraded(ok bool) {
 	}
 	if ok {
 		c.upgrades.Inc()
-		emit(c.id, OpUpgrade, 1)
+		emit(c.id, OpUpgrade, 1, 0)
 	} else {
 		c.failedUpgrades.Inc()
-		emit(c.id, OpUpgrade, 0)
+		emit(c.id, OpUpgrade, 0, 0)
 	}
 }
 
@@ -249,7 +283,7 @@ func (c *Class) Downgraded() {
 		return
 	}
 	c.downgrades.Inc()
-	emit(c.id, OpDowngrade, 0)
+	emit(c.id, OpDowngrade, 0, 0)
 }
 
 // RefClone records a reference clone; refs is the count after the clone.
@@ -258,7 +292,7 @@ func (c *Class) RefClone(refs int64) {
 		return
 	}
 	c.refClones.Inc()
-	emit(c.id, OpRefClone, refs)
+	emit(c.id, OpRefClone, refs, 0)
 }
 
 // RefRelease records a reference release; refs is the count after the
@@ -268,7 +302,7 @@ func (c *Class) RefRelease(refs int64) {
 		return
 	}
 	c.refReleases.Inc()
-	emit(c.id, OpRefRelease, refs)
+	emit(c.id, OpRefRelease, refs, 0)
 }
 
 // Deactivated records an object deactivation (Section 9 active
@@ -278,7 +312,7 @@ func (c *Class) Deactivated() {
 		return
 	}
 	c.deactivates.Inc()
-	emit(c.id, OpDeactivate, 0)
+	emit(c.id, OpDeactivate, 0, 0)
 }
 
 // BiasRevoked records a write request revoking a complex lock's reader
@@ -288,7 +322,7 @@ func (c *Class) BiasRevoked() {
 		return
 	}
 	c.biasRevokes.Inc()
-	emit(c.id, OpBiasRevoke, 0)
+	emit(c.id, OpBiasRevoke, 0, 0)
 }
 
 // CensusInc records the birth of one instance of this class (an object
@@ -419,6 +453,10 @@ func (c *Class) reset() {
 	c.biasRevokes.Reset()
 	c.hold.Reset()
 	c.wait.Reset()
+	c.work.Reset()
+	c.waitSites.reset()
+	c.holdSites.reset()
+	c.blameSites.reset()
 }
 
 // Profiles returns a snapshot of every registered class, in registration

@@ -3,7 +3,9 @@ package trace
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // testClass makes a uniquely named class per test to keep the global
@@ -152,6 +154,71 @@ func TestFlightRecorderWraps(t *testing.T) {
 	evs := Events(0)
 	if len(evs) == 0 || len(evs) > 8*nshards {
 		t.Fatalf("wrapped ring holds %d events, want 1..%d", len(evs), 8*nshards)
+	}
+}
+
+// TestFlightRecorderConcurrentWraparound hammers a tiny ring from many
+// writers while readers snapshot it, so every slot wraps hundreds of times
+// mid-read. The seq-validated slots must never yield a torn event: each
+// decoded event carries a registered class, a known op, a tid one of the
+// writers stamped, and a plausible timestamp.
+func TestFlightRecorderConcurrentWraparound(t *testing.T) {
+	SetRingCapacity(8)
+	defer SetRingCapacity(DefaultRingCapacity)
+	Enable()
+	defer Disable()
+	c := testClass(t, KindSpin)
+	start := time.Now().UnixNano()
+
+	const writers = 8
+	const perWriter = 4000
+	var wgWriters, wgReaders sync.WaitGroup
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	// Concurrent readers validate whatever they catch mid-wrap.
+	for r := 0; r < 2; r++ {
+		wgReaders.Add(1)
+		go func() {
+			defer wgReaders.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range Events(0) {
+					if e.Class != c || e.Op != OpRelease || e.TID > writers ||
+						e.TimeNs < start {
+						torn.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	for w := 1; w <= writers; w++ {
+		wgWriters.Add(1)
+		go func(tid uint32) {
+			defer wgWriters.Done()
+			for i := 0; i < perWriter; i++ {
+				c.ReleasedBy(tid, int64(i))
+			}
+		}(uint32(w))
+	}
+	wgWriters.Wait()
+	close(stop)
+	wgReaders.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatalf("%d torn events surfaced from the wrapped ring", torn.Load())
+	}
+	evs := Events(0)
+	if len(evs) == 0 || len(evs) > 8*nshards {
+		t.Fatalf("wrapped ring holds %d events, want 1..%d", len(evs), 8*nshards)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TimeNs < evs[i-1].TimeNs {
+			t.Fatalf("events out of order at %d", i)
+		}
 	}
 }
 

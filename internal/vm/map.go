@@ -17,6 +17,10 @@ import (
 var (
 	classMap    = trace.NewClass("vm", "vm.map", trace.KindComplex)
 	classMapRef = trace.NewClass("vm", "vm.map.ref", trace.KindRef)
+
+	// opFault spans one page fault end to end, splitting its latency into
+	// lock wait and work (see trace.BeginSpan).
+	opFault = trace.NewOp("vm", "op.fault")
 )
 
 // Entry is one allocated region of a map: [start, end) in page numbers,
@@ -204,6 +208,7 @@ func (m *Map) ShortageWaits() int64 { return m.shortWait.Load() }
 //     the exact behaviour that deadlocks under a recursive hold, since
 //     only this fault's own hold is dropped, not the outer one.
 func (m *Map) Fault(t *sched.Thread, va uint64, wire bool) error {
+	defer trace.BeginSpan(t, opFault).End()
 	for {
 		m.lock.Read(t)
 		e := m.findEntry(va)
