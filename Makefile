@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet machvet test race sim fuzz-smoke bench bench-smoke locktrace lockmon mon-smoke
+.PHONY: all build vet machvet test race sim fuzz-smoke bench bench-smoke bench-arsenal locktrace lockmon mon-smoke
 
 all: vet build test
 
@@ -49,6 +49,15 @@ bench:
 # uncontended fast-path benchmarks without paying for a full bench run.
 bench-smoke:
 	$(GO) test -bench=BenchmarkUncontended -benchtime=1x -run='^$$' .
+
+# Arsenal shootout smoke (also run in CI): the per-algorithm uncontended
+# pairs, the E14 contended sweep across every machlock.Algorithm, and the
+# deterministic E14 claims test (queue/cohort beat TTAS at 16 CPUs,
+# cohort wins cross-cell locality, adaptive actually parks).
+bench-arsenal:
+	$(GO) test -bench='BenchmarkUncontended(Spin$$|Queue|Cohort|Adaptive|Facade)|BenchmarkE14' \
+		-benchtime=100x -run='^$$' .
+	$(GO) test -run 'TestClaimE14' -count=1 ./internal/experiments/
 
 locktrace:
 	$(GO) run ./cmd/locktrace

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"machlock"
 	"machlock/internal/core/cxlock"
 	"machlock/internal/core/object"
 	"machlock/internal/core/refcount"
@@ -34,7 +35,7 @@ func BenchmarkE1LockVariants(b *testing.B) {
 	for _, policy := range []splock.Policy{splock.TAS, splock.TTAS, splock.TASTTAS} {
 		b.Run(policy.String(), func(b *testing.B) {
 			m := hw.New(2)
-			l := splock.NewSim(m, policy)
+			l := splock.NewSimWith(splock.Opts{Machine: m, Algorithm: policy})
 			var wg sync.WaitGroup
 			half := b.N/2 + 1
 			b.ResetTimer()
@@ -493,6 +494,41 @@ func BenchmarkExperimentDriversQuick(b *testing.B) {
 		b.Run(id, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_ = e.Run(experiments.Config{Quick: true})
+			}
+		})
+	}
+}
+
+// BenchmarkE14ArsenalContended: the shootout's end-to-end leg as a bench —
+// each arsenal algorithm under GOMAXPROCS-wide contention with a short
+// critical section, labeled by algorithm so `-bench E14 | benchstat` lines
+// the arsenal up directly. The deterministic coherence tables come from
+// `go run ./cmd/machbench -run e14`.
+func BenchmarkE14ArsenalContended(b *testing.B) {
+	for _, a := range machlock.Algorithms() {
+		b.Run(a.String(), func(b *testing.B) {
+			l := machlock.NewSimpleLock(
+				machlock.WithAlgorithm(a),
+				machlock.WithDomains(2),
+				machlock.WithName("bench.e14."+a.String()),
+			)
+			var n int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					l.Lock()
+					n++
+					l.Unlock()
+				}
+			})
+			if n != int64(b.N) {
+				b.Fatalf("lost updates under %s: n=%d, want %d", a, n, b.N)
+			}
+			st := l.AlgoStats()
+			if st.Handoffs > 0 {
+				b.ReportMetric(float64(st.Handoffs)/float64(b.N), "handoffs/acq")
+			}
+			if st.Parks > 0 {
+				b.ReportMetric(float64(st.Parks)/float64(b.N), "parks/acq")
 			}
 		})
 	}

@@ -38,19 +38,30 @@ func main() {
 	}
 }
 
-// spinSweep prints bus transactions per acquisition for each policy and
-// CPU count, on write-back and write-through cache models.
+// spinSweep prints bus transactions per acquisition for each algorithm in
+// the arsenal and each CPU count, on write-back and write-through cache
+// models. Every row is labeled by algorithm (the policy column), and the
+// arsenal-specific counters — queue handoffs, adaptive parks, cross-cell
+// ownership transfers on the two-cell machine — ride along as columns.
 func spinSweep(acquisitions int) {
-	fmt.Println("cache,policy,cpus,acquisitions,bus_txns,txns_per_acq,spin_loops,elapsed_ms")
+	fmt.Println("cache,policy,cpus,acquisitions,bus_txns,txns_per_acq,spin_loops,handoffs,parks,cross_cell,elapsed_ms")
+	sweep := []splock.Policy{
+		splock.TAS, splock.TTAS, splock.TASTTAS,
+		splock.Queue, splock.Cohort, splock.Adaptive,
+	}
 	for _, wt := range []bool{false, true} {
 		cache := "write-back"
 		if wt {
 			cache = "write-through"
 		}
 		for _, ncpu := range []int{1, 2, 4, 8, 16} {
-			for _, p := range []splock.Policy{splock.TAS, splock.TTAS, splock.TASTTAS} {
-				m := hw.NewWithConfig(hw.Config{CPUs: ncpu, WriteThrough: wt})
-				l := splock.NewSim(m, p)
+			for _, p := range sweep {
+				cells := 1
+				if ncpu >= 2 {
+					cells = 2
+				}
+				m := hw.NewWithConfig(hw.Config{CPUs: ncpu, WriteThrough: wt, Cells: cells})
+				l := splock.NewSimWith(splock.Opts{Machine: m, Algorithm: p, Domains: cells})
 				start := time.Now()
 				var wg sync.WaitGroup
 				for i := 0; i < ncpu; i++ {
@@ -66,10 +77,12 @@ func spinSweep(acquisitions int) {
 				wg.Wait()
 				elapsed := time.Since(start)
 				total := int64(ncpu * acquisitions)
-				fmt.Printf("%s,%s,%d,%d,%d,%.3f,%d,%.1f\n",
+				st := l.Stats()
+				fmt.Printf("%s,%s,%d,%d,%d,%.3f,%d,%d,%d,%d,%.1f\n",
 					cache, p, ncpu, total, m.BusTransactions(),
 					float64(m.BusTransactions())/float64(total),
-					l.Stats().SpinLoops, float64(elapsed.Microseconds())/1000)
+					st.SpinLoops, st.Handoffs, st.Parks, m.CrossCellTransfers(),
+					float64(elapsed.Microseconds())/1000)
 			}
 		}
 	}

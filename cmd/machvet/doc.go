@@ -37,9 +37,9 @@
 //	               from them before an unlock/relock window are stale
 //	               after it.
 //
-//	deprecated     Superseded constructors and mutators (NewComplexLock,
-//	               cxlock.New/Init/SetSleepable, cxlock.SetObserver), with
-//	               the replacement named in the diagnostic.
+//	deprecated     Superseded constructors and mutators (cxlock.New/Init,
+//	               cxlock.SetObserver, splock.NewSim), with the
+//	               replacement named in the diagnostic.
 //
 // # Suppressions
 //

@@ -42,10 +42,36 @@
 //	})
 //	worker.Join()
 //
-// NewLock composes the Appendix B options — WithSleep, WithRecursive,
-// WithReaderBias, WithName, WithClass — in one constructor; the Locker and
-// RWLocker interfaces abstract the resulting locks for code that takes
-// either.
+// # Construction
+//
+// NewLock (complex locks) and NewSimpleLock (simple locks) with With…
+// options are the only supported construction paths; earlier positional
+// constructors and post-construction mutators (NewComplexLock,
+// SetSleepable) have been removed. NewLock composes the Appendix B
+// options — WithSleep, WithRecursive, WithReaderBias, WithName,
+// WithClass — in one constructor; the Locker and RWLocker interfaces
+// abstract the resulting locks for code that takes either. The zero
+// values of SimpleLock and of the internal lock types remain valid
+// unlocked locks with default behaviour.
+//
+// # The algorithm arsenal
+//
+// One Algorithm enum selects how a lock is acquired under contention,
+// for both lock shapes:
+//
+//	hot := machlock.NewSimpleLock(machlock.WithAlgorithm(machlock.Queue))
+//	cl := machlock.NewLock(machlock.WithSpinThenPark(64)) // sleepable
+//
+// Default is the paper's TAS+TTAS spin; Queue is an MCS lock (per-waiter
+// queue nodes, local spinning, FIFO handoff — handoff traffic stays
+// constant as waiters are added); Cohort partitions waiters into
+// topology domains (WithDomains) and batches a domain's holders to keep
+// the protected data's cache line local; Adaptive spins a bounded budget
+// then parks the waiter (WithSpinThenPark sizes the budget; on a complex
+// lock it selects spin-then-park waiting and implies WithSleep; on a
+// simple lock it implies Adaptive). WithAlgorithm on a complex lock
+// selects the interlock's algorithm. Recommend maps a traced contention
+// profile to the algorithm these trade-offs favour.
 //
 // The deeper subsystems the paper describes — the simulated multiprocessor
 // with coherence accounting, the VM system with the vm_map_pageable

@@ -1,10 +1,12 @@
 // Package deprecated flags uses of the locking APIs this repository has
 // superseded, with the replacement spelled out in the diagnostic:
 //
-//   - machlock.NewComplexLock  -> machlock.NewLock(machlock.WithSleep(...))
 //   - cxlock.New / (*Lock).Init -> cxlock.NewWith(cxlock.Options{...})
-//   - (*cxlock.Lock).SetSleepable -> construct via cxlock.NewWith
 //   - cxlock.SetObserver -> cxlock.AddObserver / RemoveObserver
+//   - splock.NewSim -> splock.NewSimWith(splock.Opts{...})
+//
+// (machlock.NewComplexLock and cxlock.SetSleepable completed the cycle:
+// deprecated in PR 2, deleted in PR 7 once no in-repo callers remained.)
 //
 // Uses inside the package that declares the symbol are exempt (the
 // deprecated shims have to call something).
@@ -19,20 +21,22 @@ import (
 
 var Analyzer = &framework.Analyzer{
 	Name: "deprecated",
-	Doc: "deprecated flags calls to superseded locking APIs (NewComplexLock, " +
-		"cxlock.New/Init/SetSleepable, cxlock.SetObserver) and names the replacement.",
+	Doc: "deprecated flags calls to superseded locking APIs (cxlock.New/Init, " +
+		"cxlock.SetObserver, splock.NewSim) and names the replacement.",
 	Run: run,
 }
 
-const cxlockPath = "machlock/internal/core/cxlock"
+const (
+	cxlockPath = "machlock/internal/core/cxlock"
+	splockPath = "machlock/internal/core/splock"
+)
 
 // targets maps (declaring package, FuncID) to the suggested fix.
 var targets = map[[2]string]string{
-	{"machlock", "NewComplexLock"}:       "use machlock.NewLock (machlock.WithSleep() for canSleep=true) instead",
-	{cxlockPath, "New"}:                  "use cxlock.NewWith(cxlock.Options{Sleep: canSleep}) instead",
-	{cxlockPath, "(*Lock).Init"}:         "use (*Lock).InitWith(cxlock.Options{...}) instead",
-	{cxlockPath, "(*Lock).SetSleepable"}: "set Sleep up front via cxlock.NewWith(cxlock.Options{...}); mutating it after construction races with waiters",
-	{cxlockPath, "SetObserver"}:          "use cxlock.AddObserver/RemoveObserver so multiple observers can coexist instead of silently evicting one another",
+	{cxlockPath, "New"}:          "use cxlock.NewWith(cxlock.Options{Sleep: canSleep}) instead",
+	{cxlockPath, "(*Lock).Init"}: "use (*Lock).InitWith(cxlock.Options{...}) instead",
+	{cxlockPath, "SetObserver"}:  "use cxlock.AddObserver/RemoveObserver so multiple observers can coexist instead of silently evicting one another",
+	{splockPath, "NewSim"}:       "use splock.NewSimWith(splock.Opts{Machine: m, Algorithm: p}) so the lock can carry a name, class, and algorithm options",
 }
 
 func run(pass *framework.Pass) (any, error) {

@@ -5,28 +5,35 @@ package deprecated
 import (
 	"machlock"
 	"machlock/internal/core/cxlock"
+	"machlock/internal/core/splock"
 )
 
 func uses() {
-	rw := machlock.NewComplexLock(true) // want `machlock\.NewComplexLock is deprecated: use machlock\.NewLock`
-	_ = rw
-
 	l := cxlock.New(false) // want `cxlock\.New is deprecated: use cxlock\.NewWith`
-	l.SetSleepable(true)   // want `cxlock\.SetSleepable is deprecated: set Sleep up front`
+	_ = l
 
 	var embedded cxlock.Lock
 	embedded.Init(true) // want `cxlock\.Init is deprecated: use \(\*Lock\)\.InitWith`
 
 	cxlock.SetObserver(nil) // want `cxlock\.SetObserver is deprecated: use cxlock\.AddObserver/RemoveObserver`
+
+	sim := splock.NewSim(nil, splock.TTAS) // want `splock\.NewSim is deprecated: use splock\.NewSimWith`
+	_ = sim
 }
 
 func replacements() {
 	rw := machlock.NewLock(machlock.WithSleep())
 	_ = rw
 
+	sl := machlock.NewSimpleLock(machlock.WithAlgorithm(machlock.Queue))
+	_ = sl
+
 	l := cxlock.NewWith(cxlock.Options{Sleep: true})
 	_ = l
 
 	var embedded cxlock.Lock
 	embedded.InitWith(cxlock.Options{})
+
+	sim := splock.NewSimWith(splock.Opts{})
+	_ = sim
 }

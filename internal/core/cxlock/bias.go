@@ -5,6 +5,7 @@ import (
 	"time"
 	"unsafe"
 
+	"machlock/internal/core/splock"
 	"machlock/internal/machsim/simhook"
 	"machlock/internal/sched"
 	"machlock/internal/trace"
@@ -64,6 +65,19 @@ type Options struct {
 	Name string
 	// Class registers the lock with the observability layer.
 	Class *trace.Class
+	// SpinPark selects the spin-then-park waiting strategy: a waiter
+	// with a thread identity spins for this many rounds (interlock
+	// released between attempts) before committing to a block, covering
+	// short occupancies without a context switch while still yielding
+	// the processor for long ones. A positive value implies the Sleep
+	// option (parking is sleeping). Zero keeps the classic behaviour:
+	// sleepable locks block on the first round, others spin forever.
+	SpinPark int
+	// Interlock selects the algorithm guarding the lock's internal
+	// state (the paper's simple-lock interlock). The zero value is the
+	// default TASTTAS spin lock; Queue or Adaptive make sense for
+	// central locks whose interlock itself is a contention point.
+	Interlock splock.Policy
 }
 
 // NewWith creates a complex lock from Options.
@@ -76,10 +90,14 @@ func NewWith(o Options) *Lock {
 // InitWith initializes an embedded lock value from Options. It must not be
 // called on a lock in use.
 func (l *Lock) InitWith(o Options) {
-	l.canSleep = o.Sleep
+	l.canSleep = o.Sleep || o.SpinPark > 0
+	l.spinPark = int32(o.SpinPark)
 	l.norecurse = !o.Recursive
 	l.name = o.Name
 	l.class = o.Class
+	if o.Interlock != splock.TASTTAS {
+		l.interlock.InitWith(splock.Opts{Algorithm: o.Interlock, Name: o.Name + ".interlock"})
+	}
 	if o.ReaderBias {
 		l.bias = newBiasTable()
 	}

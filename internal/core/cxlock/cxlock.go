@@ -64,6 +64,12 @@ type Lock struct {
 	canSleep    bool
 	readCount   int32
 
+	// spinPark is the spin-then-park budget (Options.SpinPark): waiters
+	// with a thread identity spin this many rounds before blocking.
+	// Zero means classic waiting (sleepable locks block immediately).
+	// Immutable after InitWith.
+	spinPark int32
+
 	// Recursive option state: the designated holder and its depth of
 	// write recursion. holder is set by SetRecursive while write-held.
 	holder *sched.Thread
@@ -248,27 +254,15 @@ func (l *Lock) CanSleep() bool {
 	return l.canSleep
 }
 
-// SetSleepable enables or disables the Sleep option (lock_sleepable). The
-// paper: "The Sleep option can be enabled or disabled on a dynamic basis
-// for each lock."
-//
-// Deprecated: decide sleepability at initialization with Options.Sleep.
-// Mutating it afterwards is a footgun the paper's own lock_init never
-// offered — a waiter already spinning keeps spinning, and a lock made
-// non-sleepable can strand a sleeper — which is why no kernel subsystem
-// here uses it.
-func (l *Lock) SetSleepable(canSleep bool) {
-	l.interlock.Lock()
-	l.canSleep = canSleep
-	l.interlock.Unlock()
-}
-
 // wait releases the interlock and waits for the lock's state to change,
 // then re-acquires the interlock. With the Sleep option and a thread
 // identity it blocks via the event-wait protocol; otherwise it spins.
-// The caller must hold the interlock and must have set l.waiting when
-// sleeping (done here).
-func (l *Lock) wait(t *sched.Thread) {
+// round is the caller's waiting-round counter for this acquisition: a
+// spin-then-park lock (Options.SpinPark) spends its first spinPark
+// rounds spinning and blocks from then on, so short occupancies are
+// ridden out without a context switch. The caller must hold the
+// interlock and must have set l.waiting when sleeping (done here).
+func (l *Lock) wait(t *sched.Thread, round int) {
 	tr := l.class.On()
 	var start time.Time
 	var blamed *trace.HoldInfo
@@ -281,7 +275,12 @@ func (l *Lock) wait(t *sched.Thread) {
 		// delay was caused by whoever held it when we had to stop.
 		blamed = l.hold.Load()
 	}
-	if l.canSleep && t != nil {
+	park := l.canSleep && t != nil
+	if park && round < int(l.spinPark) {
+		// Spin-then-park: still inside the spin window.
+		park = false
+	}
+	if park {
 		l.waiting = true
 		l.stats.sleeps.Add(1)
 		sched.AssertWait(t, sched.Event(l))
@@ -368,12 +367,16 @@ func (l *Lock) Write(t *sched.Thread) {
 		return
 	}
 	// Acquire the want_write bit; writers queue behind existing writers.
+	// One spin-then-park round counter spans the whole acquisition: the
+	// budget bounds total pre-block spinning, not per-condition spinning.
+	round := 0
 	for l.wantWrite {
 		if instr && !waited {
 			waitStart = time.Now()
 			waited = true
 		}
-		l.wait(t)
+		l.wait(t, round)
+		round++
 	}
 	l.wantWrite = true
 	simhook.Note(simhook.CxWriteWant, l, 0)
@@ -390,7 +393,8 @@ func (l *Lock) Write(t *sched.Thread) {
 			waitStart = time.Now()
 			waited = true
 		}
-		l.wait(t)
+		l.wait(t, round)
+		round++
 	}
 	l.noteBiasDrainedLocked()
 	l.stats.writes.Add(1)
@@ -443,12 +447,14 @@ func (l *Lock) Read(t *sched.Thread) {
 		}
 		return
 	}
+	round := 0
 	for l.wantWrite || l.wantUpgrade {
 		if instr && !waited {
 			waitStart = time.Now()
 			waited = true
 		}
-		l.wait(t)
+		l.wait(t, round)
+		round++
 	}
 	l.readCount++
 	l.stats.reads.Add(1)
@@ -536,8 +542,8 @@ func (l *Lock) ReadToWrite(t *sched.Thread) bool {
 	l.wantUpgrade = true
 	simhook.Note(simhook.CxUpgradeWant, l, int64(l.readCount))
 	l.revokeBiasLocked()
-	for l.readCount != 0 || l.biasReadersVisible() {
-		l.wait(t)
+	for round := 0; l.readCount != 0 || l.biasReadersVisible(); round++ {
+		l.wait(t, round)
 	}
 	l.noteBiasDrainedLocked()
 	l.stats.upgrades.Add(1)
@@ -772,7 +778,7 @@ func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
 	l.wantUpgrade = true
 	simhook.Note(simhook.CxUpgradeWant, l, int64(l.readCount))
 	l.revokeBiasLocked()
-	for l.readCount != 0 || l.biasReadersVisible() {
+	for round := 0; l.readCount != 0 || l.biasReadersVisible(); round++ {
 		if l.Mach25UpgradeBug && t != nil {
 			// Mach 2.5: blocks even when the lock is not sleepable.
 			l.waiting = true
@@ -782,7 +788,7 @@ func (l *Lock) TryReadToWrite(t *sched.Thread) bool {
 			sched.ThreadBlock(t)
 			l.interlock.Lock()
 		} else {
-			l.wait(t)
+			l.wait(t, round)
 		}
 	}
 	l.noteBiasDrainedLocked()

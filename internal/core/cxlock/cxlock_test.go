@@ -501,18 +501,6 @@ func TestSpinModeNeverBlocks(t *testing.T) {
 	}
 }
 
-func TestSetSleepableDynamic(t *testing.T) {
-	l := New(false)
-	l.SetSleepable(true)
-	if !l.CanSleep() {
-		t.Fatal("SetSleepable(true) did not stick")
-	}
-	l.SetSleepable(false)
-	if l.CanSleep() {
-		t.Fatal("SetSleepable(false) did not stick")
-	}
-}
-
 func TestMach25UpgradeBugReproduction(t *testing.T) {
 	// With the compat flag set, lock_try_read_to_write blocks (sleeps)
 	// even though the lock's Sleep option is off.

@@ -38,7 +38,7 @@ type SPLLock struct {
 // the interrupt priority level of its first acquisition; pass an explicit
 // level via Bind to fix it up front.
 func NewSPL(m *hw.Machine, p Policy) *SPLLock {
-	return &SPLLock{sim: NewSim(m, p)}
+	return &SPLLock{sim: NewSimWith(Opts{Machine: m, Algorithm: p})}
 }
 
 // Bind fixes the lock's required SPL before first use.
@@ -63,7 +63,7 @@ func (l *SPLLock) Level() (hw.Level, bool) {
 // bound SPL. The first acquisition binds the level if Bind was not called.
 func (l *SPLLock) Lock(c *hw.CPU) {
 	l.check(c, c.SPL())
-	l.sim.Lock(c)
+	l.sim.Lock(c) //machlock:holds — wrapper: the hold escapes to Lock's caller
 	l.mu.Lock()
 	l.holderSPL = c.SPL()
 	l.mu.Unlock()
@@ -72,7 +72,7 @@ func (l *SPLLock) Lock(c *hw.CPU) {
 // TryLock makes a single attempt, with the same SPL check.
 func (l *SPLLock) TryLock(c *hw.CPU) bool {
 	l.check(c, c.SPL())
-	if !l.sim.TryLock(c) {
+	if !l.sim.TryLock(c) { //machlock:holds — wrapper: the hold escapes to TryLock's caller
 		return false
 	}
 	l.mu.Lock()

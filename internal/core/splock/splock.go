@@ -70,6 +70,15 @@ type Lock struct {
 	// on; published (1-in-N) after a traced acquisition, cleared at
 	// release. See trace.HoldInfo.
 	hold atomic.Pointer[trace.HoldInfo]
+
+	// algo selects a non-default acquisition algorithm (queue, cohort,
+	// adaptive, or one of the plain spin policies); nil — the zero value
+	// and what NewWith leaves for TASTTAS — keeps the refined-policy
+	// fast path above untouched. Immutable after InitWith, which must
+	// precede concurrent use.
+	algo *algoState
+	// name is an optional human label carried from Opts.Name.
+	name string
 }
 
 var _ Mutex = (*Lock)(nil)
@@ -78,11 +87,26 @@ var _ Mutex = (*Lock)(nil)
 // the lock is in concurrent use (typically right after construction).
 func (l *Lock) SetClass(c *trace.Class) { l.class = c }
 
+// Name returns the label given at construction; empty for anonymous locks.
+func (l *Lock) Name() string { return l.name }
+
+// Algorithm returns the lock's acquisition policy.
+func (l *Lock) Algorithm() Policy {
+	if l.algo == nil {
+		return TASTTAS
+	}
+	return l.algo.kind
+}
+
 // Lock acquires the lock, spinning until it is available (simple_lock).
 // The first attempt is an unconditional test-and-set; only if that fails
 // does the acquirer fall back to test-and-test-and-set spinning.
 func (l *Lock) Lock() {
 	simhook.Yield(simhook.SpLock, l)
+	if l.algo != nil {
+		l.algo.lock(l)
+		return
+	}
 	if l.class.On() {
 		l.lockTraced()
 		return
@@ -171,6 +195,10 @@ func (l *Lock) Unlock() {
 	// schedules where a holder is preempted inside its critical section,
 	// which is exactly when waiters pile up on the interlock.
 	simhook.Yield(simhook.SpUnlock, l)
+	if l.algo != nil {
+		l.algo.unlock(l)
+		return
+	}
 	if l.class != nil {
 		// Consume the acquisition stamp unconditionally so a toggle of
 		// tracing mid-hold cannot leave a stale timestamp behind. A
@@ -216,6 +244,9 @@ func (l *Lock) TryLock() bool {
 	if simhook.ForceFail(simhook.SpTry, l) {
 		return false
 	}
+	if l.algo != nil {
+		return l.algo.trylock(l)
+	}
 	if !atomic.CompareAndSwapInt32(&l.state, 0, 1) {
 		return false
 	}
@@ -252,32 +283,56 @@ func (Noop) Unlock() {}
 // TryLock always succeeds.
 func (Noop) TryLock() bool { return true }
 
-// Policy selects a spin-lock acquisition algorithm for SimLock.
+// Policy selects a spin-lock acquisition algorithm, for both the
+// production Lock (via NewWith/InitWith) and the simulated SimLock.
+// The zero value is TASTTAS, the paper's refined policy and the default
+// every zero-value Lock runs.
 type Policy int
 
 const (
+	// TASTTAS makes one test-and-set attempt first and falls back to
+	// TTAS spinning only on failure: best of both when most locks are
+	// acquired on the first attempt, as the paper assumes of a well
+	// designed system. This is the default policy (the zero value).
+	TASTTAS Policy = iota
 	// TAS spins directly on the atomic test-and-set instruction. Every
 	// spin iteration is a read-modify-write that steals exclusive
 	// ownership of the lock's cache line, so contended spinning floods
 	// the interconnect.
-	TAS Policy = iota
+	TAS
 	// TTAS (test-and-test-and-set) spins on an ordinary load — a cache
 	// hit once the line is filled Shared — and attempts the atomic
 	// operation only when the lock is observed free.
 	TTAS
-	// TASTTAS makes one test-and-set attempt first and falls back to
-	// TTAS spinning only on failure: best of both when most locks are
-	// acquired on the first attempt, as the paper assumes of a well
-	// designed system.
-	TASTTAS
 	// TCLEAR is the test-and-clear encoding the paper attributes to
 	// Precision Architecture ("swap 0 and 1 for a test and clear lock"):
 	// the unlocked state is 1, acquisition swaps in 0 and succeeds on
 	// reading back nonzero, release stores 1. Coherence behaviour is
 	// identical to TAS — "the basic concept is that of an atomic
 	// operation that sets the lock to a known state and returns its old
-	// value."
+	// value." The production Lock treats it as TAS (Go atomics have no
+	// test-and-clear encoding worth distinguishing); SimLock models the
+	// inverted encoding faithfully.
 	TCLEAR
+	// Queue is an MCS-style queue lock: waiters append a per-waiter
+	// qnode to a tail pointer with one atomic swap and then spin on a
+	// flag in their own qnode. Handoff is explicit and FIFO; under
+	// contention each waiter's spinning stays in its own cache line, so
+	// the interconnect sees one transfer per handoff instead of a
+	// stampede per release (Mellor-Crummey & Scott).
+	Queue
+	// Cohort is a topology-aware composite: one global lock plus one
+	// local queue per processor cell (NUMA domain). A releasing holder
+	// prefers a waiter from its own cell — passing the global lock along
+	// with the local one, up to a handoff budget that bounds unfairness —
+	// so the lock word and the data it protects migrate between cells
+	// rarely (lock cohorting, Dice/Marathe/Shavit; Fissile locks).
+	Cohort
+	// Adaptive is a queue lock whose waiters spin only for a bounded
+	// budget before parking (blocking) until handoff: spin-then-park,
+	// the waiting strategy tuned for lightweight-thread environments
+	// where an unbounded spinner steals the processor the holder needs.
+	Adaptive
 )
 
 // String implements fmt.Stringer.
@@ -291,6 +346,12 @@ func (p Policy) String() string {
 		return "tas+ttas"
 	case TCLEAR:
 		return "test-and-clear"
+	case Queue:
+		return "queue"
+	case Cohort:
+		return "cohort"
+	case Adaptive:
+		return "adaptive"
 	default:
 		return "policy(?)"
 	}
@@ -301,6 +362,8 @@ type SimStats struct {
 	Acquisitions int64 // successful Lock/TryLock acquisitions
 	FirstTry     int64 // acquisitions that succeeded on the first attempt
 	SpinLoops    int64 // spin iterations executed while waiting
+	Handoffs     int64 // direct holder-to-waiter handoffs (queue/cohort/adaptive)
+	Parks        int64 // waiters that stopped spinning and parked (adaptive)
 }
 
 // SimLock is a simple lock over a simulated hw.Cell, parameterized by
@@ -311,6 +374,7 @@ type SimStats struct {
 type SimLock struct {
 	cell   *hw.Cell
 	policy Policy
+	ext    *simExt // arsenal state; nil for the classic spin policies
 
 	acquisitions atomic.Int64
 	firstTry     atomic.Int64
@@ -318,14 +382,32 @@ type SimLock struct {
 }
 
 // NewSim creates an unlocked simulated simple lock on machine m with the
-// given acquisition policy. The unlocked encoding is policy-specific:
-// 0 for the set-style locks, 1 for test-and-clear.
+// given acquisition policy.
+//
+// Deprecated: use NewSimWith, the options construction path shared with
+// the production lock: NewSimWith(Opts{Machine: m, Algorithm: p}).
 func NewSim(m *hw.Machine, p Policy) *SimLock {
+	return NewSimWith(Opts{Machine: m, Algorithm: p})
+}
+
+// NewSimWith creates an unlocked simulated simple lock from options;
+// o.Machine is required. The lock-word cell's unlocked encoding is
+// policy-specific: 0 for the set-style locks, 1 for test-and-clear.
+func NewSimWith(o Opts) *SimLock {
+	m := o.Machine
+	if m == nil {
+		panic("splock: NewSimWith requires Opts.Machine")
+	}
 	initial := int64(0)
-	if p == TCLEAR {
+	if o.Algorithm == TCLEAR {
 		initial = 1
 	}
-	return &SimLock{cell: m.NewCell(initial), policy: p}
+	l := &SimLock{cell: m.NewCell(initial), policy: o.Algorithm}
+	switch o.Algorithm {
+	case Queue, Cohort, Adaptive:
+		l.ext = newSimExt(m, o)
+	}
+	return l
 }
 
 // Policy returns the lock's acquisition policy.
@@ -333,6 +415,10 @@ func (l *SimLock) Policy() Policy { return l.policy }
 
 // Lock acquires the lock from the given CPU, spinning per the policy.
 func (l *SimLock) Lock(c *hw.CPU) {
+	if l.ext != nil {
+		l.lockExt(c)
+		return
+	}
 	switch l.policy {
 	case TAS:
 		if l.cell.Swap(c, 1) == 0 {
@@ -390,6 +476,10 @@ func (l *SimLock) Lock(c *hw.CPU) {
 
 // Unlock releases the lock from the given CPU.
 func (l *SimLock) Unlock(c *hw.CPU) {
+	if l.ext != nil {
+		l.unlockExt(c)
+		return
+	}
 	if l.policy == TCLEAR {
 		if l.cell.Swap(c, 1) != 0 {
 			panic("splock: unlock of unlocked simulated lock")
@@ -403,6 +493,9 @@ func (l *SimLock) Unlock(c *hw.CPU) {
 
 // TryLock makes a single atomic attempt from the given CPU.
 func (l *SimLock) TryLock(c *hw.CPU) bool {
+	if l.ext != nil {
+		return l.trylockExt(c)
+	}
 	if l.policy == TCLEAR {
 		if l.cell.Swap(c, 0) != 0 {
 			l.acquired(true)
@@ -424,6 +517,13 @@ func (l *SimLock) TryLock(c *hw.CPU) bool {
 // atomic attempt; one TTAS iteration is a cached test, escalating to the
 // atomic attempt only when the lock was observed free.
 func (l *SimLock) SpinOnce(c *hw.CPU) bool {
+	if l.ext != nil {
+		if l.extStep(c) {
+			return true
+		}
+		l.spinLoops.Add(1)
+		return false
+	}
 	switch l.policy {
 	case TAS:
 		if l.cell.Swap(c, 1) == 0 {
@@ -470,11 +570,16 @@ func (l *SimLock) acquired(first bool) {
 
 // Stats returns a snapshot of the lock's accounting.
 func (l *SimLock) Stats() SimStats {
-	return SimStats{
+	s := SimStats{
 		Acquisitions: l.acquisitions.Load(),
 		FirstTry:     l.firstTry.Load(),
 		SpinLoops:    l.spinLoops.Load(),
 	}
+	if l.ext != nil {
+		s.Handoffs = l.ext.handoffs.Load()
+		s.Parks = l.ext.parks.Load()
+	}
+	return s
 }
 
 // CellStats returns the underlying cell's coherence accounting.

@@ -151,3 +151,52 @@ func TestClaimE12CompileOut(t *testing.T) {
 		t.Fatalf("compile-out advantage too small: real %v vs noop %v", realTime, noopTime)
 	}
 }
+
+// E14: the arsenal's shape claims, on the deterministic handoff chain
+// (no goroutines, so these are exact integers, not statistics):
+//
+//   - queue and adaptive handoff traffic stays constant as spinners are
+//     added, while the TTAS release stampede grows with the spinner
+//     count — so at 16 CPUs the queue lock beats TTAS outright;
+//   - adaptive waiters actually park, and parked waiters cost nothing
+//     extra (its traffic matches the queue's, one wakeup IPI aside);
+//   - the cohort lock drags the protected data across cells a fraction
+//     as often as FIFO order does (the handoff budget batches a cell's
+//     holders together).
+func TestClaimE14ArsenalShootout(t *testing.T) {
+	const ncpu, cells, rounds = 16, 2, 200
+	ttasBus, ttasCross, _ := arsenalHandoffPhase(ncpu, cells, splock.TTAS, rounds)
+	queueBus, queueCross, _ := arsenalHandoffPhase(ncpu, cells, splock.Queue, rounds)
+	cohortBus, cohortCross, _ := arsenalHandoffPhase(ncpu, cells, splock.Cohort, rounds)
+	adaptBus, _, adaptParks := arsenalHandoffPhase(ncpu, cells, splock.Adaptive, rounds)
+
+	if queueBus*2 >= ttasBus {
+		t.Fatalf("queue should beat ttas by >2x at %d cpus: queue %d vs ttas %d txns", ncpu, queueBus, ttasBus)
+	}
+	if adaptBus*2 >= ttasBus {
+		t.Fatalf("adaptive should beat ttas by >2x at %d cpus: adaptive %d vs ttas %d txns", ncpu, adaptBus, ttasBus)
+	}
+	if adaptParks == 0 {
+		t.Fatal("adaptive shootout run never parked a waiter")
+	}
+	if cohortBus >= ttasBus {
+		t.Fatalf("cohort should beat ttas at %d cpus: cohort %d vs ttas %d txns", ncpu, cohortBus, ttasBus)
+	}
+	if cohortCross*2 >= queueCross {
+		t.Fatalf("cohort should halve cross-cell transfers vs queue: cohort %d vs queue %d", cohortCross, queueCross)
+	}
+	if cohortCross*2 >= ttasCross {
+		t.Fatalf("cohort should halve cross-cell transfers vs ttas: cohort %d vs ttas %d", cohortCross, ttasCross)
+	}
+
+	// The growth shape itself: queue traffic must stay ~flat from 4 to 16
+	// CPUs while ttas grows.
+	q4, _, _ := arsenalHandoffPhase(4, cells, splock.Queue, rounds)
+	t4, _, _ := arsenalHandoffPhase(4, cells, splock.TTAS, rounds)
+	if queueBus > q4+q4/4 {
+		t.Fatalf("queue handoff traffic grew with spinners: %d at 4 cpus vs %d at 16", q4, queueBus)
+	}
+	if ttasBus <= t4 {
+		t.Fatalf("ttas handoff traffic did not grow with spinners: %d at 4 cpus vs %d at 16", t4, ttasBus)
+	}
+}

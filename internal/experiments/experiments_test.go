@@ -11,8 +11,8 @@ import (
 // experiment driver.
 func TestAllExperimentsRunQuick(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registered experiments = %d, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registered experiments = %d, want 14", len(all))
 	}
 	for _, e := range all {
 		e := e

@@ -46,6 +46,10 @@ type Cell struct {
 
 	val int64
 	st  []lineState
+	// lastOwner is the id of the CPU that most recently held the line
+	// Modified, or -1 before the first write; ownLocked uses it to charge
+	// cross-cell ownership transfers on multi-cell machines.
+	lastOwner int
 
 	loads      atomic.Int64
 	stores     atomic.Int64
@@ -57,7 +61,7 @@ type Cell struct {
 // NewCell allocates a cell with the given initial value. No CPU holds the
 // line initially.
 func (m *Machine) NewCell(initial int64) *Cell {
-	return &Cell{m: m, val: initial, st: make([]lineState, len(m.cpus))}
+	return &Cell{m: m, val: initial, st: make([]lineState, len(m.cpus)), lastOwner: -1}
 }
 
 // Load reads the cell from the given CPU, performing a cache fill if the
@@ -140,6 +144,10 @@ func (c *Cell) ownLocked(cpu *CPU) {
 	if c.st[cpu.id] != modified {
 		c.storeTxns.Add(1)
 		c.m.busTransaction()
+		if c.lastOwner >= 0 && c.m.CellOf(c.lastOwner) != cpu.CellID() {
+			c.m.crossCell.Add(1)
+		}
+		c.lastOwner = cpu.id
 		for i := range c.st {
 			c.st[i] = invalid
 		}

@@ -86,13 +86,22 @@ type Config struct {
 	// already held modified. This is the cache regime in which the paper
 	// says a plain test-and-set spin is unacceptable.
 	WriteThrough bool
+	// Cells is the number of NUMA-style processor cells the CPUs are
+	// partitioned into (contiguous blocks of CPU ids). Within a cell,
+	// cache-line ownership moves cheaply; a transfer that crosses a cell
+	// boundary is additionally counted as a cross-cell transfer, the
+	// traffic a topology-aware (cohort) lock exists to avoid. Zero or one
+	// means a flat machine: every transfer is local.
+	Cells int
 }
 
 // Machine is a simulated shared-memory multiprocessor.
 type Machine struct {
 	cpus         []*CPU
 	writeThrough bool
+	cells        int
 	bus          atomic.Int64 // total interconnect transactions
+	crossCell    atomic.Int64 // line ownership transfers crossing a cell boundary
 }
 
 // New creates a machine with n processors and write-back caches.
@@ -105,7 +114,14 @@ func NewWithConfig(cfg Config) *Machine {
 	if cfg.CPUs < 1 {
 		panic("hw: machine needs at least one CPU")
 	}
-	m := &Machine{writeThrough: cfg.WriteThrough}
+	cells := cfg.Cells
+	if cells < 1 {
+		cells = 1
+	}
+	if cells > cfg.CPUs {
+		panic("hw: more cells than CPUs")
+	}
+	m := &Machine{writeThrough: cfg.WriteThrough, cells: cells}
 	m.cpus = make([]*CPU, cfg.CPUs)
 	for i := range m.cpus {
 		m.cpus[i] = &CPU{m: m, id: i}
@@ -125,14 +141,35 @@ func (m *Machine) CPUs() []*CPU { return m.cpus }
 // WriteThrough reports whether the machine models write-through caches.
 func (m *Machine) WriteThrough() bool { return m.writeThrough }
 
+// NCells returns the number of processor cells (NUMA domains). A flat
+// machine has one cell.
+func (m *Machine) NCells() int { return m.cells }
+
+// CellOf returns the cell the given CPU id belongs to. CPUs are split into
+// contiguous, evenly sized blocks: with 8 CPUs in 2 cells, CPUs 0-3 are
+// cell 0 and CPUs 4-7 cell 1.
+func (m *Machine) CellOf(cpuID int) int {
+	return cpuID * m.cells / len(m.cpus)
+}
+
+// CrossCellTransfers returns how many cache-line ownership transfers
+// crossed a cell boundary since the last ResetBus. On a flat machine the
+// count is always zero. This is the metric a cohort lock minimizes: each
+// cross-cell transfer of a lock word (and of the data it protects, which
+// follows it) is the expensive remote-memory traffic of the topology.
+func (m *Machine) CrossCellTransfers() int64 { return m.crossCell.Load() }
+
 // BusTransactions returns the total number of interconnect transactions
 // (cache fills, invalidations, write-throughs) performed since the last
 // ResetBus. This is the paper's measure of the bandwidth wasted by spinning.
 func (m *Machine) BusTransactions() int64 { return m.bus.Load() }
 
-// ResetBus zeroes the interconnect transaction counter and returns the
-// previous total.
-func (m *Machine) ResetBus() int64 { return m.bus.Swap(0) }
+// ResetBus zeroes the interconnect transaction counter (and the cross-cell
+// transfer counter alongside it) and returns the previous transaction total.
+func (m *Machine) ResetBus() int64 {
+	m.crossCell.Store(0)
+	return m.bus.Swap(0)
+}
 
 func (m *Machine) busTransaction() { m.bus.Add(1) }
 
@@ -155,6 +192,9 @@ type CPU struct {
 
 // ID returns the processor number.
 func (c *CPU) ID() int { return c.id }
+
+// CellID returns the cell (NUMA domain) this CPU belongs to.
+func (c *CPU) CellID() int { return c.m.CellOf(c.id) }
 
 // Machine returns the machine this CPU belongs to.
 func (c *CPU) Machine() *Machine { return c.m }

@@ -93,8 +93,11 @@ func NewHost(m *hw.Machine) *Host {
 	h := &Host{machine: m}
 	h.assignLock.InitWith(cxlock.Options{
 		Sleep: true, // reassignment drops references, which may block
-		Name:  "kern.host.assign",
-		Class: classAssign,
+		// Assignment holds are almost always short (relink two lists);
+		// spin a bounded window before paying a block/wakeup pair.
+		SpinPark: 64,
+		Name:     "kern.host.assign",
+		Class:    classAssign,
 	})
 	h.defaultSet = h.newSet("default", true)
 	for i := 0; i < m.NCPU(); i++ {

@@ -349,7 +349,7 @@ func (s *Sim) Yield(p simhook.Point, obj any) {
 	vt.point = p
 	s.trace(fmt.Sprintf("yield %-18s %s", p, s.nameOf(obj)))
 	s.countStep()
-	voluntary := p == simhook.SpSpin || p == simhook.CxSpin
+	voluntary := p == simhook.SpSpin || p == simhook.CxSpin || p == simhook.SpPark
 	chosen := s.pick(vt, voluntary)
 	if chosen == nil {
 		panic(simAbort{})

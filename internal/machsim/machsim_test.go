@@ -51,8 +51,8 @@ func TestSimFindsLostUpdate(t *testing.T) {
 		l := &splock.Lock{}
 		n := 0
 		body := func(_ *sched.Thread) {
-			v := n    // racy load...
-			l.Lock()  // ...with scheduling points before...
+			v := n   // racy load...
+			l.Lock() // ...with scheduling points before...
 			l.Unlock()
 			n = v + 1 // ...the racy store
 		}

@@ -49,6 +49,9 @@ const (
 	SpTry      // Yield: entry to TryLock
 	SpAcquired // Note: the test-and-set succeeded
 	SpReleased // Note: the release store happened
+	SpPark     // Yield: adaptive waiter exhausted its spin budget and parked
+	SpEnqueued // Note: queue-lock waiter appended its qnode (n = ticket)
+	SpHandoff  // Note: queue-lock holder handed the lock to its successor
 
 	// cxlock boundaries. The *Enter points are scheduling points outside
 	// the interlock; the *Grant/Want/Release points are Notes emitted
@@ -105,6 +108,7 @@ const (
 var pointNames = map[Point]string{
 	SpLock: "sp.lock", SpSpin: "sp.spin", SpUnlock: "sp.unlock",
 	SpTry: "sp.try", SpAcquired: "sp.acquired", SpReleased: "sp.released",
+	SpPark: "sp.park", SpEnqueued: "sp.enqueued", SpHandoff: "sp.handoff",
 	CxRead: "cx.read", CxWrite: "cx.write", CxDone: "cx.done",
 	CxTryRead: "cx.tryread", CxTryWrite: "cx.trywrite",
 	CxUpgrade: "cx.upgrade", CxTryUpgrade: "cx.tryupgrade",
@@ -112,7 +116,7 @@ var pointNames = map[Point]string{
 	CxAcquired: "cx.acquired", CxBiasPublish: "cx.bias.publish",
 	CxReadGrant: "cx.read.grant", CxReadGrantRec: "cx.read.grant.rec",
 	CxRecurseGrant: "cx.recurse.grant",
-	CxWriteGrant: "cx.write.grant", CxWriteWant: "cx.write.want",
+	CxWriteGrant:   "cx.write.grant", CxWriteWant: "cx.write.want",
 	CxUpgradeWant: "cx.upgrade.want", CxUpgradeGrant: "cx.upgrade.grant",
 	CxUpgradeFail: "cx.upgrade.fail", CxDowngradeDone: "cx.downgrade.done",
 	CxReleaseRead: "cx.release.read", CxReleaseWrite: "cx.release.write",
@@ -120,7 +124,7 @@ var pointNames = map[Point]string{
 	CxBiasReadGrant: "cx.bias.grant", CxBiasRelease: "cx.bias.release",
 	CxBiasRevoke: "cx.bias.revoke", CxBiasDrained: "cx.bias.drained",
 	CxBiasRearm: "cx.bias.rearm",
-	RefClone: "ref.clone", RefRelease: "ref.release",
+	RefClone:    "ref.clone", RefRelease: "ref.release",
 	ObjLock: "obj.lock", ObjUnlock: "obj.unlock",
 	ObjDeactivate: "obj.deactivate", ObjDestroyed: "obj.destroyed",
 	SchedAssertWait: "sched.assertwait", SchedWakeup: "sched.wakeup",

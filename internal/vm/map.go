@@ -85,7 +85,7 @@ func NewMap(pool *PagePool) *Map {
 	})
 	m.refs.Init(1)
 	m.refs.SetClass(classMapRef)
-	m.refLock.SetClass(classMapRef)
+	m.refLock.InitWith(splock.Opts{Class: classMapRef, Name: "vm.map.ref"})
 	classMapRef.CensusInc() // maps passively vanish; census out in Release
 	return m
 }

@@ -49,7 +49,7 @@ type Object struct {
 // the pool, holding one creator reference.
 func NewObject(pool *PagePool, size uint64) *Object {
 	o := &Object{pages: make(map[uint64]*Page), size: size, pool: pool}
-	o.lock.SetClass(classObject)
+	o.lock.InitWith(splock.Opts{Class: classObject, Name: "vm.object"})
 	o.refs.Init(1)
 	o.refs.SetClass(classObject)
 	return o

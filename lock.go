@@ -2,6 +2,7 @@ package machlock
 
 import (
 	"machlock/internal/core/cxlock"
+	"machlock/internal/core/splock"
 	"machlock/internal/trace"
 )
 
@@ -36,49 +37,245 @@ type RWLocker interface {
 
 var _ RWLocker = (*ComplexLock)(nil)
 
-// Option configures a lock built by NewLock. Options compose freely; the
-// zero configuration is a plain non-sleeping, non-recursive writer-priority
-// complex lock.
-type Option func(*cxlock.Options)
+// Algorithm selects the acquisition algorithm of a simple lock — or, for
+// a complex lock, of the interlock guarding its internal state. The
+// catalog (DESIGN §13):
+//
+//	Default   the paper's hybrid: one test-and-set, then test-then-set
+//	          spinning. Unbeatable uncontended; degrades under load.
+//	TAS       pure test-and-set spin: every attempt is an interconnect
+//	          write. The Appendix A strawman; kept for experiments.
+//	TTAS      pure test-then-set: waiters spin in their caches and only
+//	          write when the lock looks free.
+//	Queue     MCS queue lock: each waiter spins on its own cache line
+//	          and the holder hands off to the first in line. FIFO-fair,
+//	          constant interconnect traffic at any thread count.
+//	Cohort    topology-aware two-level lock: a global word plus one MCS
+//	          queue per hardware cell, preferring handoff within the
+//	          holder's cell (bounded by a handoff budget) so the lock —
+//	          and the data it protects — migrate between cells rarely.
+//	Adaptive  spin-then-park queue lock: waiters spin a bounded budget,
+//	          then park and are woken by the handoff, covering short
+//	          holds without burning processors on long ones.
+type Algorithm int
+
+const (
+	// Default is the zero value: the TAS/TTAS hybrid of Appendix A.
+	Default Algorithm = iota
+	// TAS is pure test-and-set (experiment baseline).
+	TAS
+	// TTAS is pure test-then-set.
+	TTAS
+	// Queue is the MCS queue lock.
+	Queue
+	// Cohort is the two-level topology-aware lock.
+	Cohort
+	// Adaptive is the spin-then-park queue lock.
+	Adaptive
+)
+
+// String names the algorithm as used in reports and bench labels.
+func (a Algorithm) String() string {
+	switch a {
+	case Default:
+		return "default"
+	case TAS:
+		return "tas"
+	case TTAS:
+		return "ttas"
+	case Queue:
+		return "queue"
+	case Cohort:
+		return "cohort"
+	case Adaptive:
+		return "adaptive"
+	}
+	return "unknown"
+}
+
+// policy maps the facade enum to the splock policy it configures.
+func (a Algorithm) policy() splock.Policy {
+	switch a {
+	case Default:
+		return splock.TASTTAS
+	case TAS:
+		return splock.TAS
+	case TTAS:
+		return splock.TTAS
+	case Queue:
+		return splock.Queue
+	case Cohort:
+		return splock.Cohort
+	case Adaptive:
+		return splock.Adaptive
+	}
+	panic("machlock: unknown Algorithm")
+}
+
+// Algorithms lists every selectable Algorithm, in catalog order; the
+// shootout experiment and bench sweeps range over it.
+func Algorithms() []Algorithm {
+	return []Algorithm{Default, TAS, TTAS, Queue, Cohort, Adaptive}
+}
+
+// config is the merged option sink: one With… list configures either lock
+// shape. Simple-lock options land in sp, complex-lock options in cx, and
+// shared options (name, class, algorithm) in both; NewLock and
+// NewSimpleLock each read only their half.
+type config struct {
+	cx cxlock.Options
+	sp splock.Opts
+}
+
+// Option configures a lock built by NewLock or NewSimpleLock. Options
+// compose freely; the zero configuration is a plain non-sleeping,
+// non-recursive writer-priority complex lock, or the paper's default
+// simple lock.
+type Option func(*config)
 
 // WithSleep enables the Sleep option: waiters block (AssertWait /
 // ThreadBlock) instead of spinning, and the lock may be held across
 // blocking operations. "Most complex locks use the sleep option."
-func WithSleep() Option { return func(o *cxlock.Options) { o.Sleep = true } }
+// Complex locks only.
+func WithSleep() Option { return func(c *config) { c.cx.Sleep = true } }
 
 // WithRecursive permits the SetRecursive protocol (a designated holder
 // may re-enter its read hold). Locks built without it panic on
 // SetRecursive, making accidental recursion — the Section 7.1 deadlock
-// ingredient — a loud failure instead of a latent one.
-func WithRecursive() Option { return func(o *cxlock.Options) { o.Recursive = true } }
+// ingredient — a loud failure instead of a latent one. Complex locks only.
+func WithRecursive() Option { return func(c *config) { c.cx.Recursive = true } }
 
 // WithReaderBias enables the BRAVO-style visible-readers fast path:
 // readers that present a thread identity publish themselves in a per-lock
 // slot table with one uncontended store, bypassing the central interlock
 // entirely until a writer revokes the bias. Choose it for read-mostly
 // locks (name-space translation, map lookup, set iteration); write-heavy
-// locks only pay the revocation overhead.
-func WithReaderBias() Option { return func(o *cxlock.Options) { o.ReaderBias = true } }
+// locks only pay the revocation overhead. Complex locks only.
+func WithReaderBias() Option { return func(c *config) { c.cx.ReaderBias = true } }
 
-// WithName names the lock for debugging and deadlock reports.
-func WithName(name string) Option { return func(o *cxlock.Options) { o.Name = name } }
+// WithName names the lock for debugging, deadlock reports, and lockstat
+// labels.
+func WithName(name string) Option {
+	return func(c *config) { c.cx.Name, c.sp.Name = name, name }
+}
 
 // WithClass attaches the lock to a trace observability class; all locks
-// sharing a class aggregate into one contention-profile row.
-func WithClass(c *TraceClass) Option { return func(o *cxlock.Options) { o.Class = c } }
+// sharing a class aggregate into one contention-profile row, and the
+// arsenal's wait/handoff accounting flows into the same blame machinery
+// regardless of algorithm.
+func WithClass(cl *TraceClass) Option {
+	return func(c *config) { c.cx.Class, c.sp.Class = cl, cl }
+}
+
+// WithAlgorithm selects the acquisition algorithm. On a simple lock it
+// replaces the spin protocol itself; on a complex lock it replaces the
+// interlock's, which matters only for central complex locks whose
+// interlock is itself a contention point.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) {
+		p := a.policy()
+		c.sp.Algorithm = p
+		c.cx.Interlock = p
+	}
+}
+
+// WithSpinThenPark sets the spin-then-park budget. On a complex lock,
+// waiters spin for budget rounds before committing to a block (implies
+// the Sleep option — parking is sleeping). On a simple lock it implies
+// WithAlgorithm(Adaptive) and sizes that algorithm's spin window.
+func WithSpinThenPark(budget int) Option {
+	return func(c *config) {
+		c.cx.SpinPark = budget
+		c.sp.SpinBudget = budget
+		if c.sp.Algorithm == splock.TASTTAS {
+			c.sp.Algorithm = splock.Adaptive
+		}
+	}
+}
+
+// WithDomains sets the number of cohort domains (Cohort algorithm only);
+// zero means the default. More domains mean less cross-domain lock
+// migration but longer worst-case FIFO inversion windows.
+func WithDomains(n int) Option { return func(c *config) { c.sp.Domains = n } }
 
 // NewLock builds a complex lock from options:
 //
 //	l := machlock.NewLock(machlock.WithSleep(), machlock.WithReaderBias(),
 //		machlock.WithName("vm.map"))
 //
-// It supersedes NewComplexLock(canSleep), which survives as a deprecated
-// wrapper (with Recursive implied, as the old constructor allowed
-// SetRecursive unconditionally).
+// This is the only supported construction path for complex locks (the
+// zero value remains a valid non-sleepable lock, as lock_init allowed).
 func NewLock(opts ...Option) *ComplexLock {
-	var o cxlock.Options
+	var c config
 	for _, opt := range opts {
-		opt(&o)
+		opt(&c)
 	}
-	return cxlock.NewWith(o)
+	return cxlock.NewWith(c.cx)
+}
+
+// NewSimpleLock builds a simple lock from options:
+//
+//	l := machlock.NewSimpleLock(machlock.WithAlgorithm(machlock.Queue),
+//		machlock.WithName("ipc.port"))
+//
+// Options that only apply to complex locks (sleep, recursion, reader
+// bias) are ignored. The zero value of SimpleLock remains a valid
+// default-algorithm lock.
+func NewSimpleLock(opts ...Option) *SimpleLock {
+	var c config
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return splock.NewWith(c.sp)
+}
+
+// Recommendation thresholds for Recommend, exported for tests and the
+// shootout experiment's write-up.
+const (
+	// recommendMinSample: below this many acquisitions the profile is
+	// noise; keep the default.
+	recommendMinSample = 1000
+	// recommendContended: contention rate at which spinning algorithms
+	// start burning interconnect bandwidth and a queue pays off.
+	recommendContended = 0.10
+	// recommendParkNs: a P90 wait this long (≈ several context-switch
+	// quanta) means waiters should park rather than spin.
+	recommendParkNs = int64(250_000)
+	// recommendCohortHoldNs: holds this long under heavy contention
+	// amortize a cohort's bounded unfairness into locality wins.
+	recommendCohortHoldNs = int64(20_000)
+	// recommendHeavy: contention rate treated as pathological.
+	recommendHeavy = 0.40
+)
+
+// Recommend suggests an Algorithm for a lock class from its observed
+// contention profile (trace must have been enabled while the workload
+// ran). The heuristic follows the shootout experiment's findings:
+//
+//	contention < 10% (or too few samples)  -> Default: the uncontended
+//	    fast path dominates and nothing beats one CAS.
+//	P90 wait ≥ 250µs                       -> Adaptive: waits span many
+//	    scheduling quanta; spinning through them burns processors.
+//	contention ≥ 40% and P90 hold ≥ 20µs   -> Cohort: heavy traffic with
+//	    real work under the lock; batching handoffs within a cell keeps
+//	    the protected data's cache lines home.
+//	otherwise                              -> Queue: contended but
+//	    short-held; MCS gives constant traffic and FIFO fairness.
+//
+// A nil class returns Default.
+func Recommend(cl *TraceClass) Algorithm {
+	if cl == nil {
+		return Default
+	}
+	p := cl.Snapshot()
+	if p.Acquisitions < recommendMinSample || p.ContentionRate < recommendContended {
+		return Default
+	}
+	if p.P90WaitNs >= recommendParkNs {
+		return Adaptive
+	}
+	if p.ContentionRate >= recommendHeavy && p.P90HoldNs >= recommendCohortHoldNs {
+		return Cohort
+	}
+	return Queue
 }

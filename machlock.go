@@ -39,16 +39,6 @@ func NewCheckedLock(name string) *CheckedLock { return splock.NewChecked(name) }
 // non-sleepable lock.
 type ComplexLock = cxlock.Lock
 
-// NewComplexLock creates a complex lock; canSleep enables the Sleep option
-// (lock_init).
-//
-// Deprecated: use NewLock with options — NewLock(WithSleep()) for
-// canSleep=true. NewComplexLock implies WithRecursive for compatibility
-// with callers that used SetRecursive.
-func NewComplexLock(canSleep bool) *ComplexLock {
-	return cxlock.NewWith(cxlock.Options{Sleep: canSleep, Recursive: true})
-}
-
 // ComplexLockStats is a snapshot of a complex lock's accounting.
 type ComplexLockStats = cxlock.Stats
 
