@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet machvet test race sim fuzz-smoke bench bench-smoke bench-arsenal locktrace lockmon mon-smoke
+.PHONY: all build vet machvet test race sim fuzz-smoke bench bench-smoke bench-arsenal locktrace lockmon mon-smoke machd machd-smoke
 
 all: vet build test
 
@@ -72,3 +72,16 @@ lockmon:
 # non-empty Prometheus scrape.
 mon-smoke:
 	$(GO) run ./cmd/lockmon -smoke -threads 4 -ops 200
+
+# Run the machd daemon (serve mode; ^C to stop). See cmd/machd for load
+# mode: machd -load -duration 60s -rate 2000 -mix default -bench BENCH_machd.json
+machd:
+	$(GO) run ./cmd/machd -rpc 127.0.0.1:7207 -http 127.0.0.1:7208
+
+# machd smoke test (also run in CI): boots the daemon on ephemeral ports,
+# drives four distinct scenario mixes over real TCP sockets, scrapes
+# /debug/machlock/metrics, and asserts the SLO quantiles are populated,
+# the combined exposition carries the machlock_* and machd_* families,
+# zero incidents were filed, and BENCH_machd.json validates.
+machd-smoke:
+	$(GO) run ./cmd/machd -smoke -bench BENCH_machd.json

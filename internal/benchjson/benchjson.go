@@ -1,0 +1,164 @@
+// Package benchjson defines the machine-readable benchmark report schema
+// (`machlock-bench/v1`) that starts the repo's performance trajectory:
+// every sustained-load machd run and every cmd/machbench -json run emits
+// the same shape, so macro (daemon SLO) and micro (experiment) numbers can
+// be diffed, plotted, and regression-gated by one consumer.
+//
+// The schema is deliberately flat JSON with stable snake_case keys. A
+// scenario is one named workload (a machd traffic mix member, or one
+// machbench experiment); quantiles are nanoseconds from power-of-two
+// histograms (accurate to 2×, like everything else in the repo's
+// measurement stack).
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema is the format identifier carried in every report.
+const Schema = "machlock-bench/v1"
+
+// Report is one benchmark run.
+type Report struct {
+	Schema      string `json:"schema"`
+	Name        string `json:"name"`         // e.g. "machd", "machbench"
+	GeneratedBy string `json:"generated_by"` // emitting tool
+	GoMaxProcs  int    `json:"gomaxprocs"`
+
+	DurationSec float64 `json:"duration_sec"`
+
+	Totals    Totals               `json:"totals"`
+	Scenarios map[string]*Scenario `json:"scenarios"`
+
+	// LockClasses snapshots the hottest lock/refcount classes of the run —
+	// the per-class wait quantiles that sit next to the per-op latency in
+	// the Prometheus scrape, in trajectory form.
+	LockClasses []LockClass `json:"lock_classes,omitempty"`
+
+	// Incidents counts monitor incidents filed during the run, by kind.
+	Incidents map[string]int64 `json:"incidents,omitempty"`
+
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Totals aggregates the run.
+type Totals struct {
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	Timeouts  int64   `json:"timeouts"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// Scenario is one named workload's results. For machd scenarios the
+// latency quantiles are client-observed RPC latency and the wait/work
+// split comes from the server-side operation spans; machbench experiments
+// fill Tables/Notes with their rendered output instead.
+type Scenario struct {
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	Timeouts  int64   `json:"timeouts"`
+	Shed      int64   `json:"shed,omitempty"` // open-loop arrivals dropped at the offered-load queue
+	OpsPerSec float64 `json:"ops_per_sec"`
+	MixShare  float64 `json:"mix_share,omitempty"` // fraction of offered load
+
+	P50Ns int64 `json:"p50_ns"`
+	P90Ns int64 `json:"p90_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	MaxNs int64 `json:"max_ns"`
+
+	// Server-side wait-vs-work split (from trace operation spans).
+	WaitP50Ns int64 `json:"wait_p50_ns"`
+	WaitP99Ns int64 `json:"wait_p99_ns"`
+	WorkP50Ns int64 `json:"work_p50_ns"`
+	WorkP99Ns int64 `json:"work_p99_ns"`
+
+	// Rendered plain-text tables and notes (machbench experiments).
+	Tables []string `json:"tables,omitempty"`
+	Notes  []string `json:"notes,omitempty"`
+}
+
+// LockClass is one trace class's contention snapshot.
+type LockClass struct {
+	Class          string  `json:"class"` // pkg/name
+	Kind           string  `json:"kind"`
+	Acquisitions   int64   `json:"acquisitions"`
+	Contended      int64   `json:"contended"`
+	ContentionRate float64 `json:"contention_rate"`
+	WaitP50Ns      int64   `json:"wait_p50_ns"`
+	WaitP90Ns      int64   `json:"wait_p90_ns"`
+	WaitP99Ns      int64   `json:"wait_p99_ns"`
+	HoldP99Ns      int64   `json:"hold_p99_ns"`
+}
+
+// New returns a report skeleton with the schema stamped.
+func New(name, generatedBy string, gomaxprocs int) *Report {
+	return &Report{
+		Schema:      Schema,
+		Name:        name,
+		GeneratedBy: generatedBy,
+		GoMaxProcs:  gomaxprocs,
+		Scenarios:   make(map[string]*Scenario),
+	}
+}
+
+// Validate checks the report is well-formed: right schema, named, at least
+// one scenario, and internally consistent quantiles. This is what the
+// machd smoke asserts about the BENCH_machd.json it just wrote.
+func (r *Report) Validate() error {
+	if r == nil {
+		return fmt.Errorf("benchjson: nil report")
+	}
+	if r.Schema != Schema {
+		return fmt.Errorf("benchjson: schema %q, want %q", r.Schema, Schema)
+	}
+	if r.Name == "" {
+		return fmt.Errorf("benchjson: report has no name")
+	}
+	if len(r.Scenarios) == 0 {
+		return fmt.Errorf("benchjson: report has no scenarios")
+	}
+	for name, s := range r.Scenarios {
+		if s == nil {
+			return fmt.Errorf("benchjson: scenario %q is null", name)
+		}
+		if s.Ops < 0 || s.Errors < 0 || s.Timeouts < 0 {
+			return fmt.Errorf("benchjson: scenario %q has negative counts", name)
+		}
+		if s.P50Ns > s.P90Ns || s.P90Ns > s.P99Ns {
+			return fmt.Errorf("benchjson: scenario %q quantiles not monotone: p50=%d p90=%d p99=%d",
+				name, s.P50Ns, s.P90Ns, s.P99Ns)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON (path "-" writes to
+// stdout).
+func WriteFile(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile parses a report back (for the smoke assertion and trajectory
+// consumers).
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return &r, nil
+}

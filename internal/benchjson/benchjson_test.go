@@ -1,0 +1,62 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Report {
+	r := New("machd", "test", 8)
+	r.DurationSec = 60
+	r.Totals = Totals{Ops: 1000, OpsPerSec: 16.7}
+	r.Scenarios["lookup"] = &Scenario{
+		Ops: 900, OpsPerSec: 15, MixShare: 0.9,
+		P50Ns: 1 << 12, P90Ns: 1 << 14, P99Ns: 1 << 16, MaxNs: 1 << 20,
+	}
+	r.Scenarios["churn"] = &Scenario{Ops: 100, P50Ns: 10, P90Ns: 10, P99Ns: 20}
+	r.Incidents = map[string]int64{"deadlock": 0}
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := sample()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || back.Name != "machd" || back.GoMaxProcs != 8 {
+		t.Fatalf("header mangled: %+v", back)
+	}
+	s := back.Scenarios["lookup"]
+	if s == nil || s.Ops != 900 || s.P99Ns != 1<<16 {
+		t.Fatalf("scenario mangled: %+v", s)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]func(*Report){
+		"wrong schema":       func(r *Report) { r.Schema = "bogus/v9" },
+		"no name":            func(r *Report) { r.Name = "" },
+		"no scenarios":       func(r *Report) { r.Scenarios = nil },
+		"null scenario":      func(r *Report) { r.Scenarios["x"] = nil },
+		"negative counts":    func(r *Report) { r.Scenarios["lookup"].Errors = -1 },
+		"quantile inversion": func(r *Report) { r.Scenarios["lookup"].P50Ns = 1 << 30 },
+	}
+	for name, mutate := range cases {
+		r := sample()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed report", name)
+		}
+	}
+}

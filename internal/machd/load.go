@@ -1,0 +1,366 @@
+package machd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"machlock/internal/ipc"
+	"machlock/internal/mig"
+	"machlock/internal/netmsg"
+	"machlock/internal/sched"
+)
+
+// Mix is a weighted traffic mix over the built-in scenarios.
+type Mix map[string]int
+
+// ParseMix parses "lookup=50,churn=15,spawn=10,touch=20,chaos=5" into a
+// Mix. Unknown scenario names and non-positive weights are errors; omitted
+// scenarios get weight 0.
+func ParseMix(s string) (Mix, error) {
+	m := Mix{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("machd: mix term %q: want name=weight", part)
+		}
+		name = strings.TrimSpace(name)
+		known := false
+		for _, k := range Scenarios {
+			if k == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("machd: unknown scenario %q (have %s)", name, strings.Join(Scenarios, ", "))
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(w))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("machd: mix weight %q: want positive integer", w)
+		}
+		m[name] += n
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("machd: empty mix")
+	}
+	return m, nil
+}
+
+// String renders the mix in stable order.
+func (m Mix) String() string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, m[n])
+	}
+	return strings.Join(parts, ",")
+}
+
+// Shares returns each scenario's fraction of the total weight.
+func (m Mix) Shares() map[string]float64 {
+	total := 0
+	for _, w := range m {
+		total += w
+	}
+	out := make(map[string]float64, len(m))
+	for n, w := range m {
+		out[n] = float64(w) / float64(total)
+	}
+	return out
+}
+
+// DefaultMix is a production-flavored blend: name lookups dominate, with
+// steady right churn, task lifecycle traffic, vm pressure, and a trickle
+// of chaos.
+var DefaultMix = Mix{ScenLookup: 50, ScenChurn: 15, ScenSpawn: 10, ScenTouch: 20, ScenChaos: 5}
+
+// Named scenario mixes selectable by name (-mix flag, smoke target).
+var NamedMixes = map[string]Mix{
+	"default":      DefaultMix,
+	"lookup-storm": {ScenLookup: 95, ScenChurn: 5},
+	"churn-heavy":  {ScenLookup: 30, ScenChurn: 60, ScenChaos: 10},
+	"spawn-flood":  {ScenSpawn: 80, ScenLookup: 20},
+	"vm-pressure":  {ScenTouch: 70, ScenSpawn: 20, ScenLookup: 10},
+	"chaos":        {ScenLookup: 40, ScenChurn: 20, ScenChaos: 40},
+}
+
+// LoadConfig drives RunLoad.
+type LoadConfig struct {
+	// Addr is the daemon's RPC listen address.
+	Addr string
+	// Conns is the number of TCP connections (proxy ports) to spread
+	// calls over (default 4).
+	Conns int
+	// Workers is the number of concurrent client workers (default 16).
+	Workers int
+	// Rate is the open-loop arrival rate in requests/second (default
+	// 2000). Arrivals are generated on a clock independent of
+	// completions; when the queue backs up past QueueDepth, arrivals are
+	// shed and counted, exactly like an overloaded front end.
+	Rate float64
+	// QueueDepth bounds the arrival queue (default 1024).
+	QueueDepth int
+	// Mix is the traffic blend (default DefaultMix).
+	Mix Mix
+	// Duration is how long to offer load (default 10s).
+	Duration time.Duration
+	// Timeout is the soft per-request deadline: requests completing later
+	// count against the timeout budget (default 250ms; 0 disables).
+	Timeout time.Duration
+	// BadLookupPct sends that percentage of lookups to a name that does
+	// not exist — deliberate failures that exercise the error budget.
+	BadLookupPct int
+	// KillPct is the share of chaos requests that kill a port instead of
+	// holding the chaos lock (default 50).
+	KillPct int
+	// HoldUs is the chaos slow-holder duration in microseconds (default
+	// 1000).
+	HoldUs int
+	// SpawnThreads and SpawnPages bound the per-spawn cost (defaults 1
+	// thread, 4 pages).
+	SpawnThreads int
+	SpawnPages   int
+	// Seed makes a run's random choices reproducible (default 1).
+	Seed int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Rate <= 0 {
+		c.Rate = 2000
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Mix == nil {
+		c.Mix = DefaultMix
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 250 * time.Millisecond
+	}
+	if c.KillPct <= 0 {
+		c.KillPct = 50
+	}
+	if c.HoldUs <= 0 {
+		c.HoldUs = 1000
+	}
+	if c.SpawnThreads <= 0 {
+		c.SpawnThreads = 1
+	}
+	if c.SpawnPages <= 0 {
+		c.SpawnPages = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// picker draws scenarios from the mix's weighted distribution.
+type picker struct {
+	names   []string
+	cumsum  []int
+	total   int
+	rng     *rand.Rand
+	rngLock sync.Mutex
+}
+
+func newPicker(m Mix, seed int64) *picker {
+	p := &picker{rng: rand.New(rand.NewSource(seed))}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p.total += m[n]
+		p.names = append(p.names, n)
+		p.cumsum = append(p.cumsum, p.total)
+	}
+	return p
+}
+
+func (p *picker) pick() string {
+	p.rngLock.Lock()
+	v := p.rng.Intn(p.total)
+	p.rngLock.Unlock()
+	for i, c := range p.cumsum {
+		if v < c {
+			return p.names[i]
+		}
+	}
+	return p.names[len(p.names)-1]
+}
+
+// LoadResult summarizes a RunLoad (the per-scenario numbers live in the
+// Collector the caller passed in).
+type LoadResult struct {
+	Elapsed time.Duration
+	// Stat is the world's self-description at the end of the run.
+	Stat StatReply
+}
+
+// RunLoad offers cfg.Duration of open-loop load to the daemon at cfg.Addr
+// and records every outcome into col. It discovers the world's shape over
+// the wire (OpStat), so generator and daemon share no state but the
+// socket.
+func RunLoad(cfg LoadConfig, col *Collector) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+
+	proxies := make([]*ipc.Port, cfg.Conns)
+	for i := range proxies {
+		p, err := netmsg.Proxy(cfg.Addr, fmt.Sprintf("machload%d", i))
+		if err != nil {
+			for _, q := range proxies[:i] {
+				q.Destroy()
+			}
+			return nil, fmt.Errorf("machd: dial %s: %w", cfg.Addr, err)
+		}
+		proxies[i] = p
+	}
+	defer func() {
+		for _, p := range proxies {
+			p.Destroy()
+		}
+	}()
+
+	statThread := sched.New("machload-stat")
+	stat, err := mig.Call[StatArgs, StatReply](statThread, proxies[0], OpStat, &StatArgs{})
+	if err != nil {
+		return nil, fmt.Errorf("machd: stat: %w", err)
+	}
+
+	pick := newPicker(cfg.Mix, cfg.Seed)
+	arrivals := make(chan string, cfg.QueueDepth)
+
+	// Workers: each owns one kernel-thread identity, one RNG, and one
+	// proxy (round-robin), and drains arrivals until the channel closes.
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		w := &worker{
+			cfg:   cfg,
+			stat:  stat,
+			col:   col,
+			proxy: proxies[i%len(proxies)],
+			rng:   rand.New(rand.NewSource(cfg.Seed + int64(i) + 1)),
+			self:  sched.New(fmt.Sprintf("machload-w%d", i)),
+		}
+		go func() {
+			defer wg.Done()
+			for s := range arrivals {
+				w.one(s)
+			}
+		}()
+	}
+
+	// Open-loop arrival clock: an accumulator turns rate×dt into whole
+	// arrivals each tick. Completions never feed back into this loop —
+	// if the daemon slows down, the queue fills and arrivals shed.
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	tick := time.NewTicker(2 * time.Millisecond)
+	last := start
+	var acc float64
+	for now := range tick.C {
+		if now.After(deadline) {
+			break
+		}
+		acc += cfg.Rate * now.Sub(last).Seconds()
+		last = now
+		for ; acc >= 1; acc-- {
+			s := pick.pick()
+			col.Offered(s)
+			select {
+			case arrivals <- s:
+			default:
+				col.Shed(s)
+			}
+		}
+	}
+	tick.Stop()
+	close(arrivals)
+	wg.Wait()
+
+	end, err := mig.Call[StatArgs, StatReply](statThread, proxies[0], OpStat, &StatArgs{})
+	if err != nil {
+		return nil, fmt.Errorf("machd: final stat: %w", err)
+	}
+	return &LoadResult{Elapsed: time.Since(start), Stat: *end}, nil
+}
+
+// worker executes one request per arrival.
+type worker struct {
+	cfg   LoadConfig
+	stat  *StatReply
+	col   *Collector
+	proxy *ipc.Port
+	rng   *rand.Rand
+	self  *sched.Thread
+}
+
+func (w *worker) one(scenario string) {
+	w.col.Begin()
+	start := time.Now()
+	err := w.call(scenario)
+	lat := time.Since(start)
+	timedOut := w.cfg.Timeout > 0 && lat > w.cfg.Timeout
+	w.col.Done(scenario, lat, err, timedOut)
+}
+
+func (w *worker) call(scenario string) error {
+	slot := w.rng.Intn(w.stat.Tasks)
+	switch scenario {
+	case ScenLookup:
+		name := uint32(1 + w.rng.Intn(w.stat.PortsPerTask))
+		if w.cfg.BadLookupPct > 0 && w.rng.Intn(100) < w.cfg.BadLookupPct {
+			name = 1 << 30 // never allocated: deliberate failure
+		}
+		_, err := mig.Call[LookupArgs, LookupReply](w.self, w.proxy, OpLookup,
+			&LookupArgs{Slot: slot, Name: name})
+		return err
+	case ScenChurn:
+		_, err := mig.Call[ChurnArgs, ChurnReply](w.self, w.proxy, OpChurn,
+			&ChurnArgs{Slot: slot})
+		return err
+	case ScenSpawn:
+		_, err := mig.Call[SpawnArgs, SpawnReply](w.self, w.proxy, OpSpawn,
+			&SpawnArgs{Threads: w.cfg.SpawnThreads, Pages: w.cfg.SpawnPages})
+		return err
+	case ScenTouch:
+		_, err := mig.Call[TouchArgs, TouchReply](w.self, w.proxy, OpTouch,
+			&TouchArgs{Slot: slot, Page: w.rng.Intn(w.stat.VMPages)})
+		return err
+	case ScenChaos:
+		_, err := mig.Call[ChaosArgs, ChaosReply](w.self, w.proxy, OpChaos,
+			&ChaosArgs{
+				Slot:   slot,
+				Kill:   w.rng.Intn(100) < w.cfg.KillPct,
+				HoldUs: w.cfg.HoldUs,
+			})
+		return err
+	default:
+		return fmt.Errorf("machd: unknown scenario %q", scenario)
+	}
+}

@@ -1,0 +1,445 @@
+// Package machd is the long-running multi-tenant kernel service: a daemon
+// that hosts a resident population of tasks, port name spaces, and vm
+// objects, and serves sustained RPC traffic over real sockets by composing
+// the repo's existing layers — ipc dispatch (Section 10), mig-style typed
+// stubs, and the netmsg network server — into one front end.
+//
+// Where every earlier surface in the repo is a short-lived benchmark or
+// simulator run, machd keeps the whole locking/refcount machinery hot for
+// minutes at a time under an open-loop load generator (load.go), and its
+// observability headline is the SLO layer (slo.go): per-operation latency
+// quantiles with the wait-vs-work split, per-class lock-wait quantiles in
+// the same scrape, rolling error/timeout budgets, a live scenario-mix
+// gauge, and monitor incident capture that keeps firing for as long as an
+// anomaly persists.
+package machd
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"machlock/internal/core/cxlock"
+	"machlock/internal/core/object"
+	"machlock/internal/ipc"
+	"machlock/internal/kern"
+	"machlock/internal/mig"
+	"machlock/internal/netmsg"
+	"machlock/internal/sched"
+	"machlock/internal/trace"
+	"machlock/internal/vm"
+)
+
+// Observability classes. Every RPC handler runs under an operation span
+// owned by the serving kernel thread, so the span engine splits its
+// latency into lock wait and work — that is where the scrape's
+// machlock_op_* families with pkg="machd" come from. The chaos lock gets
+// its own complex-lock class so slow-holder injections are attributable.
+var (
+	opLookup = trace.NewOp("machd", "op.lookup")
+	opChurn  = trace.NewOp("machd", "op.port-churn")
+	opSpawn  = trace.NewOp("machd", "op.task-spawn")
+	opTouch  = trace.NewOp("machd", "op.vm-touch")
+	opChaos  = trace.NewOp("machd", "op.chaos")
+
+	classChaos = trace.NewClass("machd", "machd.chaos", trace.KindComplex)
+)
+
+// RPC operation numbers of the machd interface.
+const (
+	OpLookup = iota
+	OpChurn
+	OpSpawn
+	OpTouch
+	OpChaos
+	OpStat
+)
+
+// Typed routine arguments/replies (the mig ".defs" of the service; shared
+// with the client-side stubs in load.go).
+
+// LookupArgs resolves port name Name in task slot Slot's name space.
+type LookupArgs struct {
+	Slot int
+	Name uint32
+}
+
+// LookupReply reports the translation outcome.
+type LookupReply struct{ Found bool }
+
+// ChurnArgs inserts a fresh port into slot Slot's space and removes it
+// again — two write acquisitions on the reader-biased space lock.
+type ChurnArgs struct{ Slot int }
+
+// ChurnReply returns the space's size after the churn.
+type ChurnReply struct{ Names int }
+
+// SpawnArgs creates a short-lived task (with Threads kernel threads and
+// Pages vm pages faulted in) and terminates it through the Section 10
+// shutdown protocol.
+type SpawnArgs struct {
+	Threads int
+	Pages   int
+}
+
+// SpawnReply carries the spawn sequence number.
+type SpawnReply struct{ ID int64 }
+
+// TouchArgs faults page Page of slot Slot's address space.
+type TouchArgs struct {
+	Slot int
+	Page int
+}
+
+// TouchReply reports the map's cumulative fault count.
+type TouchReply struct{ Faults int64 }
+
+// ChaosArgs perturbs slot Slot: Kill destroys the slot's chaos port (a
+// random deactivation — translations racing it see a dead port) and
+// replaces it; otherwise the handler becomes a slow holder, pinning the
+// slot's chaos lock for HoldUs microseconds.
+type ChaosArgs struct {
+	Slot   int
+	Kill   bool
+	HoldUs int
+}
+
+// ChaosReply reports which perturbation ran.
+type ChaosReply struct{ Killed bool }
+
+// StatArgs requests the world's shape and counters.
+type StatArgs struct{}
+
+// StatReply describes the world — the load generator discovers the
+// population over the wire with this instead of sharing config.
+type StatReply struct {
+	Tasks        int
+	PortsPerTask int
+	VMPages      int
+	PoolFree     int
+	PoolTotal    int
+	Spawns       int64
+	Kills        int64
+	Holds        int64
+	Faults       int64
+	Reclaims     int64
+}
+
+// WorldConfig sizes the resident population.
+type WorldConfig struct {
+	// Tasks is the resident task population (default 32).
+	Tasks int
+	// PortsPerTask is how many stable lookup ports each task's name space
+	// holds (default 16).
+	PortsPerTask int
+	// VMPages is the size, in pages, of each task's mapped region
+	// (default 64).
+	VMPages int
+	// PoolPages sizes the shared physical page pool. The default is half
+	// the population's total mapping (Tasks*VMPages/2), so sustained
+	// vm-touch traffic keeps the pageout daemon reclaiming — the paper's
+	// shortage protocol runs continuously instead of never.
+	PoolPages int
+	// ServerThreads is the number of kernel threads draining the service
+	// port (default 8).
+	ServerThreads int
+}
+
+func (c WorldConfig) withDefaults() WorldConfig {
+	if c.Tasks <= 0 {
+		c.Tasks = 32
+	}
+	if c.PortsPerTask <= 0 {
+		c.PortsPerTask = 16
+	}
+	if c.VMPages <= 0 {
+		c.VMPages = 64
+	}
+	if c.PoolPages <= 0 {
+		c.PoolPages = c.Tasks * c.VMPages / 2
+		if c.PoolPages < 64 {
+			c.PoolPages = 64
+		}
+	}
+	if c.ServerThreads <= 0 {
+		c.ServerThreads = 8
+	}
+	return c
+}
+
+// slot is one resident tenant: a task whose name space holds PortsPerTask
+// stable lookup ports plus one chaos port, and whose map covers VMPages
+// pages of one vm object.
+type slot struct {
+	task *kern.Task
+
+	// chaosMu serializes chaos-port replacement for this slot (host
+	// mutex: it orders handler-side bookkeeping, not kernel state).
+	chaosMu   sync.Mutex
+	chaosName ipc.Name
+
+	// chaosLock is the slow-holder target: a sleepable complex lock a
+	// chaos op can legally pin while sleeping, making every other chaos
+	// op on the slot wait — visible in the machd/machd.chaos class.
+	chaosLock cxlock.Lock
+}
+
+// serviceObj is the kernel object behind the machd service port.
+type serviceObj struct {
+	object.Object
+	w *World
+}
+
+// World is the daemon's kernel-side state: the population, the shared page
+// pool with its pageout daemon, and the dispatch loop threads.
+type World struct {
+	cfg     WorldConfig
+	pool    *vm.PagePool
+	pageout *vm.Pageout
+	slots   []*slot
+
+	svc     *serviceObj
+	svcPort *ipc.Port
+	srv     *ipc.Server
+	servers []*sched.Thread
+
+	listener   net.Listener
+	exportDone chan struct{}
+
+	spawnSeq atomic.Int64
+	kills    atomic.Int64
+	holds    atomic.Int64
+	faults   atomic.Int64
+}
+
+// NewWorld builds the population: cfg.Tasks resident tasks, each with its
+// lookup ports (names 1..PortsPerTask), a chaos port, and a VMPages-page
+// mapping registered with the shared pageout daemon.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	cfg = cfg.withDefaults()
+	w := &World{cfg: cfg}
+	w.pool = vm.NewPool(cfg.PoolPages)
+	w.pageout = vm.NewPageout(w.pool)
+
+	init := sched.New("machd-init")
+	w.slots = make([]*slot, cfg.Tasks)
+	for i := range w.slots {
+		s := &slot{task: kern.NewTask(fmt.Sprintf("machd.task%d", i), w.pool)}
+		// Sleepable: chaos holders sleep on purpose while holding it.
+		s.chaosLock.InitWith(cxlock.Options{Sleep: true, Class: classChaos})
+		for j := 0; j < cfg.PortsPerTask; j++ {
+			p := ipc.NewPort(fmt.Sprintf("machd.t%d.p%d", i, j))
+			s.task.InsertPort(init, p)
+			p.Release(nil) // the name-space entry keeps its own reference
+		}
+		s.chaosName = insertChaosPort(init, s.task, i)
+		obj := vm.NewObject(w.pool, uint64(cfg.VMPages))
+		if err := s.task.Map().Allocate(init, 0, uint64(cfg.VMPages), obj, 0); err != nil {
+			return nil, fmt.Errorf("machd: allocate slot %d: %w", i, err)
+		}
+		obj.Release(init) // the map entry keeps its own reference
+		w.pageout.AddMap(s.task.Map())
+		w.slots[i] = s
+	}
+
+	w.svc = &serviceObj{w: w}
+	w.svc.Init("machd")
+	w.svcPort = ipc.NewPort("machd.service")
+	w.svc.TakeRef()
+	w.svcPort.SetKObject(ipc.KindCustom, w.svc)
+	w.srv = w.buildInterface().Server(ipc.Mach25)
+	return w, nil
+}
+
+func insertChaosPort(t *sched.Thread, task *kern.Task, i int) ipc.Name {
+	p := ipc.NewPort(fmt.Sprintf("machd.t%d.chaos", i))
+	n := task.InsertPort(t, p)
+	p.Release(nil)
+	return n
+}
+
+// Start launches the dispatch loops, the pageout daemon, and the network
+// export on l. The world owns l from here: Stop closes it.
+func (w *World) Start(l net.Listener) {
+	w.pageout.Start()
+	w.servers = make([]*sched.Thread, w.cfg.ServerThreads)
+	for i := range w.servers {
+		w.svcPort.TakeRef()
+		w.servers[i] = sched.Go(fmt.Sprintf("machd-server%d", i), func(self *sched.Thread) {
+			w.srv.Serve(self, w.svcPort)
+			w.svcPort.Release(nil)
+		})
+	}
+	// Stop closes l, which terminates Export and its per-conn handlers.
+	w.listener = l
+	w.exportDone = make(chan struct{})
+	go func() {
+		defer close(w.exportDone)
+		netmsg.Export(l, w.svcPort)
+	}()
+}
+
+// Stop tears the world down: network surface first (so no new RPCs
+// arrive), then the service port (terminating the dispatch loops), then
+// the pageout daemon, then the population itself — every resident task
+// runs the Section 10 shutdown protocol, so a leak-free run ends with the
+// census back where it started.
+func (w *World) Stop() {
+	if w.listener != nil {
+		w.listener.Close()
+		<-w.exportDone
+	}
+	w.svcPort.Destroy()
+	for _, t := range w.servers {
+		t.Join()
+	}
+	w.pageout.Stop()
+	reaper := sched.New("machd-reaper")
+	for _, s := range w.slots {
+		_ = s.task.Terminate(reaper)
+	}
+}
+
+// Slots returns the population size.
+func (w *World) Slots() int { return w.cfg.Tasks }
+
+// ServicePort exposes the dispatch port (for in-process tests that skip
+// the network).
+func (w *World) ServicePort() *ipc.Port { return w.svcPort }
+
+// buildInterface defines the typed routine set. Every handler opens an
+// operation span on the serving thread, so the daemon's per-op quantiles
+// carry the wait-vs-work split without the handlers doing any timing.
+func (w *World) buildInterface() *mig.Interface {
+	iface := mig.NewInterface(ipc.KindCustom)
+
+	mig.Define(iface, OpLookup, "lookup",
+		func(ctx *ipc.Context, obj ipc.KObject, a *LookupArgs) (*LookupReply, error) {
+			defer trace.BeginSpan(ctx.Thread, opLookup).End()
+			s := w.slot(a.Slot)
+			p, err := s.task.TranslatePort(ctx.Thread, ipc.Name(a.Name))
+			if err != nil {
+				return nil, err
+			}
+			p.Release(nil)
+			return &LookupReply{Found: true}, nil
+		})
+
+	mig.Define(iface, OpChurn, "port-churn",
+		func(ctx *ipc.Context, obj ipc.KObject, a *ChurnArgs) (*ChurnReply, error) {
+			defer trace.BeginSpan(ctx.Thread, opChurn).End()
+			s := w.slot(a.Slot)
+			p := ipc.NewPort("machd.churn")
+			n := s.task.InsertPort(ctx.Thread, p)
+			if err := s.task.Space().Remove(ctx.Thread, n); err != nil {
+				p.Destroy()
+				return nil, err
+			}
+			p.Destroy()
+			return &ChurnReply{Names: s.task.Space().Len(ctx.Thread)}, nil
+		})
+
+	mig.Define(iface, OpSpawn, "task-spawn",
+		func(ctx *ipc.Context, obj ipc.KObject, a *SpawnArgs) (*SpawnReply, error) {
+			defer trace.BeginSpan(ctx.Thread, opSpawn).End()
+			id := w.spawnSeq.Add(1)
+			task := kern.NewTask(fmt.Sprintf("machd.spawn%d", id), w.pool)
+			for i := 0; i < a.Threads; i++ {
+				if _, err := task.CreateThread(fmt.Sprintf("machd.spawn%d.th%d", id, i)); err != nil {
+					_ = task.Terminate(ctx.Thread)
+					return nil, err
+				}
+			}
+			if a.Pages > 0 {
+				o := vm.NewObject(w.pool, uint64(a.Pages))
+				if err := task.Map().Allocate(ctx.Thread, 0, uint64(a.Pages), o, 0); err != nil {
+					o.Release(ctx.Thread)
+					_ = task.Terminate(ctx.Thread)
+					return nil, err
+				}
+				o.Release(ctx.Thread)
+				for pg := 0; pg < a.Pages; pg++ {
+					// Faulting the fresh mapping may hit a memory
+					// shortage and sleep for the pageout daemon —
+					// spawn tail latency under memory pressure is
+					// exactly the production shape we want.
+					if err := task.Map().Fault(ctx.Thread, uint64(pg), false); err != nil {
+						_ = task.Terminate(ctx.Thread)
+						return nil, err
+					}
+				}
+			}
+			if err := task.Terminate(ctx.Thread); err != nil {
+				return nil, err
+			}
+			return &SpawnReply{ID: id}, nil
+		})
+
+	mig.Define(iface, OpTouch, "vm-touch",
+		func(ctx *ipc.Context, obj ipc.KObject, a *TouchArgs) (*TouchReply, error) {
+			defer trace.BeginSpan(ctx.Thread, opTouch).End()
+			s := w.slot(a.Slot)
+			va := uint64(a.Page % w.cfg.VMPages)
+			if err := s.task.Map().Fault(ctx.Thread, va, false); err != nil {
+				return nil, err
+			}
+			w.faults.Add(1)
+			return &TouchReply{Faults: s.task.Map().Faults()}, nil
+		})
+
+	mig.Define(iface, OpChaos, "chaos",
+		func(ctx *ipc.Context, obj ipc.KObject, a *ChaosArgs) (*ChaosReply, error) {
+			defer trace.BeginSpan(ctx.Thread, opChaos).End()
+			s := w.slot(a.Slot)
+			if a.Kill {
+				s.chaosMu.Lock()
+				old := s.chaosName
+				p, err := s.task.TranslatePort(ctx.Thread, old)
+				if err == nil {
+					_ = s.task.Space().Remove(ctx.Thread, old)
+					p.Destroy() // random deactivation: drop our clone and kill it
+				}
+				s.chaosName = insertChaosPort(ctx.Thread, s.task, a.Slot)
+				s.chaosMu.Unlock()
+				w.kills.Add(1)
+				return &ChaosReply{Killed: true}, nil
+			}
+			hold := time.Duration(a.HoldUs) * time.Microsecond
+			if hold <= 0 {
+				hold = time.Millisecond
+			}
+			s.chaosLock.Write(ctx.Thread)
+			time.Sleep(hold) // a sleepable lock may legally be held across a sleep
+			s.chaosLock.Done(ctx.Thread)
+			w.holds.Add(1)
+			return &ChaosReply{Killed: false}, nil
+		})
+
+	mig.Define(iface, OpStat, "stat",
+		func(ctx *ipc.Context, obj ipc.KObject, a *StatArgs) (*StatReply, error) {
+			return &StatReply{
+				Tasks:        w.cfg.Tasks,
+				PortsPerTask: w.cfg.PortsPerTask,
+				VMPages:      w.cfg.VMPages,
+				PoolFree:     w.pool.FreeCount(),
+				PoolTotal:    w.pool.Total(),
+				Spawns:       w.spawnSeq.Load(),
+				Kills:        w.kills.Load(),
+				Holds:        w.holds.Load(),
+				Faults:       w.faults.Load(),
+				Reclaims:     w.pageout.Reclaims(),
+			}, nil
+		})
+
+	return iface
+}
+
+// slot returns the resident slot for an arbitrary client-chosen index.
+func (w *World) slot(i int) *slot {
+	if i < 0 {
+		i = -i
+	}
+	return w.slots[i%len(w.slots)]
+}

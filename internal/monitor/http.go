@@ -3,6 +3,7 @@ package monitor
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -83,13 +84,21 @@ func (m *Monitor) serveProfiles(w http.ResponseWriter, r *http.Request) {
 
 func (m *Monitor) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.WriteMetrics(w)
+}
+
+// WriteMetrics renders the full Prometheus scrape — the trace layer's
+// per-class and per-op families followed by the monitor's own — to w.
+// Exported so surfaces that extend the scrape with more families (machd's
+// SLO layer) can serve one combined exposition.
+func (m *Monitor) WriteMetrics(w io.Writer) {
 	trace.WriteProm(w, trace.Profiles())
 	m.writeOwnMetrics(w)
 }
 
 // writeOwnMetrics appends the monitor's self-describing families to a
 // Prometheus scrape.
-func (m *Monitor) writeOwnMetrics(w http.ResponseWriter) {
+func (m *Monitor) writeOwnMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# HELP machlock_monitor_up Whether the watchdog goroutine is running.")
 	fmt.Fprintln(w, "# TYPE machlock_monitor_up gauge")
 	up := 0

@@ -1,0 +1,89 @@
+package monitor
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpointGoldenSchema pins the /debug/machlock/metrics
+// contract: the scrape is one exposition carrying the trace families
+// followed by the monitor's own, with exactly these names, types, and
+// label keys. Scrape configs and dashboards key on these strings; changes
+// must be deliberate and show up here.
+func TestMetricsEndpointGoldenSchema(t *testing.T) {
+	m := New(Config{})
+	m.Start()
+	defer m.Stop()
+
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/machlock/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want the 0.0.4 exposition type", ct)
+	}
+	text := string(body)
+
+	// The monitor's own families, exactly.
+	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$`)
+	got := map[string]string{}
+	for _, line := range strings.Split(text, "\n") {
+		if mm := typeRe.FindStringSubmatch(line); mm != nil && strings.HasPrefix(mm[1], "machlock_monitor_") {
+			got[mm[1]] = mm[2]
+		}
+	}
+	want := map[string]string{
+		"machlock_monitor_up":                        "gauge",
+		"machlock_monitor_ticks_total":               "counter",
+		"machlock_monitor_incidents_total":           "counter",
+		"machlock_monitor_incidents_dropped_total":   "counter",
+		"machlock_monitor_splock_acquisitions_total": "counter",
+		"machlock_monitor_splock_contended_total":    "counter",
+		"machlock_monitor_splock_releases_total":     "counter",
+		"machlock_monitor_splock_spinners":           "gauge",
+		"machlock_monitor_uptime_seconds":            "gauge",
+	}
+	for fam, typ := range want {
+		if got[fam] != typ {
+			t.Errorf("family %s: type %q, want %q", fam, got[fam], typ)
+		}
+	}
+	for fam := range got {
+		if _, ok := want[fam]; !ok {
+			t.Errorf("new monitor family %s — add it to the golden schema deliberately", fam)
+		}
+	}
+
+	// The incident counter carries exactly the four kinds as its label set.
+	kindRe := regexp.MustCompile(`machlock_monitor_incidents_total\{kind="([^"]+)"\}`)
+	var kinds []string
+	for _, mm := range kindRe.FindAllStringSubmatch(text, -1) {
+		kinds = append(kinds, mm[1])
+	}
+	sort.Strings(kinds)
+	if strings.Join(kinds, ",") != "deadlock,long-hold,long-wait,ref-leak" {
+		t.Errorf("incident kinds = %v", kinds)
+	}
+
+	// The trace families share the scrape (one exposition, not two URLs).
+	for _, fam := range []string{
+		"machlock_acquisitions_total",
+		"machlock_wait_time_ns",
+		"machlock_op_latency_ns",
+		"machlock_op_lock_wait_ns",
+		"machlock_op_work_ns",
+	} {
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			t.Errorf("scrape missing trace family %s", fam)
+		}
+	}
+}

@@ -57,6 +57,13 @@ type Config struct {
 	// RingTail is how many flight-recorder events each incident captures
 	// (default 32).
 	RingTail int
+
+	// Rearm re-arms the per-anomaly incident dedup on this period, so an
+	// anomaly that persists (a lock held for minutes, a census that keeps
+	// climbing) files fresh incidents instead of exactly one per monitor
+	// run. 0 keeps the original file-once behaviour — right for tests and
+	// short tools, wrong for a long-running daemon.
+	Rearm time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +93,7 @@ type Monitor struct {
 	ticks     atomic.Int64
 	byKind    [4]atomic.Int64 // indexed by kindIndex
 	startedAt atomic.Int64    // unix ns; 0 = not running
+	lastRearm atomic.Int64    // unix ns of the last dedup re-arm
 
 	mu       sync.Mutex
 	reported map[string]bool // dedup: incidents already filed this run
@@ -237,8 +245,28 @@ func (m *Monitor) run(stop, done chan struct{}) {
 // a pass without waiting out the interval.
 func (m *Monitor) Pass() {
 	m.ticks.Add(1)
+	m.maybeRearm()
 	m.checkDeadlocks()
 	m.checkProfiles()
+}
+
+// maybeRearm clears the incident dedup set once per cfg.Rearm period.
+func (m *Monitor) maybeRearm() {
+	if m.cfg.Rearm <= 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := m.lastRearm.Load()
+	if last == 0 {
+		m.lastRearm.CompareAndSwap(0, now)
+		return
+	}
+	if now-last < int64(m.cfg.Rearm) || !m.lastRearm.CompareAndSwap(last, now) {
+		return
+	}
+	m.mu.Lock()
+	m.reported = make(map[string]bool)
+	m.mu.Unlock()
 }
 
 // once returns true the first time key is seen, filing at most one

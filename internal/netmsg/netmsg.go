@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 
 	"machlock/internal/ipc"
@@ -116,13 +117,43 @@ func ExportConn(conn io.ReadWriteCloser, target *ipc.Port) error {
 
 // Export accepts connections and serves target on each until the listener
 // closes. Run it on its own goroutine.
+//
+// Closing the listener is the shutdown path: Export closes every
+// connection it is still serving — which unblocks their ExportConn
+// goroutines out of the decode loop — and returns only after all of them
+// have exited, so a daemon can tear down its network surface without
+// leaking a goroutine per connected (or half-disconnected) client. A
+// handler blocked inside the kernel RPC itself is not interruptible from
+// here; the exporting side must destroy the target port (failing the call)
+// before or alongside closing the listener.
 func Export(l net.Listener, target *ipc.Port) {
+	var (
+		mu    sync.Mutex
+		conns = make(map[io.Closer]struct{})
+		wg    sync.WaitGroup
+	)
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			mu.Lock()
+			for c := range conns {
+				c.Close()
+			}
+			mu.Unlock()
+			wg.Wait()
 			return
 		}
-		go func() { _ = ExportConn(conn, target) }()
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = ExportConn(conn, target)
+			mu.Lock()
+			delete(conns, conn)
+			mu.Unlock()
+		}()
 	}
 }
 

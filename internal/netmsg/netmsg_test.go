@@ -187,6 +187,95 @@ func TestBrokenTransportReturnsConnectionError(t *testing.T) {
 	resp.Destroy()
 }
 
+// TestExportShutdownTerminatesConns: closing the listener must terminate
+// Export AND every ExportConn goroutine it spawned — including ones whose
+// clients are idle and would otherwise keep the decode loop parked on an
+// open socket forever. Export returns only after the per-connection
+// handlers have exited, which is the property the regression pins.
+func TestExportShutdownTerminatesConns(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener available: %v", err)
+	}
+	target, stop := startService(t)
+	defer stop()
+
+	exportDone := make(chan struct{})
+	go func() {
+		defer close(exportDone)
+		Export(l, target)
+	}()
+
+	// Several clients connect; each performs one call to prove the conn is
+	// being served, then goes idle with the socket still open.
+	self := sched.New("client")
+	proxies := make([]*ipc.Port, 4)
+	for i := range proxies {
+		p, err := Proxy(l.Addr().String(), "shutdown-proxy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies[i] = p
+		if _, err := mig.Call[echoArgs, echoReply](self, p, opUpper, &echoArgs{S: "up"}); err != nil {
+			t.Fatalf("proxy %d: %v", i, err)
+		}
+	}
+
+	// Shutdown: close only the listener. Export must close the four idle
+	// server-side conns and return once their handlers have drained.
+	l.Close()
+	select {
+	case <-exportDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Export did not return after listener close (conn handlers leaked)")
+	}
+
+	// The server-side close propagates: a call through any proxy now fails
+	// with a connection error rather than hanging.
+	for i, p := range proxies {
+		resp, err := ipc.Call(self, p, opEcho, "late")
+		if err == nil {
+			if resp.Err == nil || !errors.Is(resp.Err, ErrConnection) {
+				t.Fatalf("proxy %d: resp.Err = %v, want ErrConnection", i, resp.Err)
+			}
+			resp.Destroy()
+		}
+		p.Destroy()
+	}
+}
+
+// TestExportAbruptClientDisconnect: a client that vanishes mid-session
+// must not strand its ExportConn goroutine; the decode loop sees the
+// broken transport and exits, and a later listener close still returns
+// promptly (nothing left to wait for).
+func TestExportAbruptClientDisconnect(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener available: %v", err)
+	}
+	target, stop := startService(t)
+	defer stop()
+
+	exportDone := make(chan struct{})
+	go func() {
+		defer close(exportDone)
+		Export(l, target)
+	}()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close() // abrupt disconnect: no frame ever sent
+
+	l.Close()
+	select {
+	case <-exportDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Export did not return after abrupt client disconnect + listener close")
+	}
+}
+
 func TestTCPEndToEnd(t *testing.T) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

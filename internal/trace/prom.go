@@ -105,6 +105,7 @@ func (p *promWriter) ops(ops []OpProfile) {
 	p.family("machlock_op_latency_ns", "Operation latency quantiles (ns).", "gauge")
 	for _, o := range ops {
 		opSample("machlock_op_latency_ns", o, `quantile="0.5"`, float64(o.P50Ns))
+		opSample("machlock_op_latency_ns", o, `quantile="0.9"`, float64(o.P90Ns))
 		opSample("machlock_op_latency_ns", o, `quantile="0.99"`, float64(o.P99Ns))
 	}
 	p.family("machlock_op_latency_ns_mean", "Mean operation latency (ns).", "gauge")
@@ -118,11 +119,13 @@ func (p *promWriter) ops(ops []OpProfile) {
 	p.family("machlock_op_lock_wait_ns", "In-span lock wait quantiles (ns).", "gauge")
 	for _, o := range ops {
 		opSample("machlock_op_lock_wait_ns", o, `quantile="0.5"`, float64(o.P50WaitNs))
+		opSample("machlock_op_lock_wait_ns", o, `quantile="0.9"`, float64(o.P90WaitNs))
 		opSample("machlock_op_lock_wait_ns", o, `quantile="0.99"`, float64(o.P99WaitNs))
 	}
 	p.family("machlock_op_work_ns", "In-span work (latency minus lock wait) quantiles (ns).", "gauge")
 	for _, o := range ops {
 		opSample("machlock_op_work_ns", o, `quantile="0.5"`, float64(o.P50WorkNs))
+		opSample("machlock_op_work_ns", o, `quantile="0.9"`, float64(o.P90WorkNs))
 		opSample("machlock_op_work_ns", o, `quantile="0.99"`, float64(o.P99WorkNs))
 	}
 }

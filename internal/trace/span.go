@@ -239,12 +239,15 @@ type OpProfile struct {
 
 	MeanNs int64
 	P50Ns  int64
+	P90Ns  int64
 	P99Ns  int64
 	MaxNs  int64
 
 	P50WaitNs int64
+	P90WaitNs int64
 	P99WaitNs int64
 	P50WorkNs int64
+	P90WorkNs int64
 	P99WorkNs int64
 }
 
@@ -262,11 +265,14 @@ func OpProfiles() []OpProfile {
 			Contended: c.contended.Load(),
 			MeanNs:    int64(c.hold.Mean()),
 			P50Ns:     c.hold.Quantile(0.50),
+			P90Ns:     c.hold.Quantile(0.90),
 			P99Ns:     c.hold.Quantile(0.99),
 			MaxNs:     c.hold.Max(),
 			P50WaitNs: c.wait.Quantile(0.50),
+			P90WaitNs: c.wait.Quantile(0.90),
 			P99WaitNs: c.wait.Quantile(0.99),
 			P50WorkNs: c.work.Quantile(0.50),
+			P90WorkNs: c.work.Quantile(0.90),
 			P99WorkNs: c.work.Quantile(0.99),
 		})
 	}
