@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet machvet test race sim fuzz-smoke bench bench-smoke bench-arsenal locktrace lockmon mon-smoke machd machd-smoke
+.PHONY: all build vet govet machvet test race sim fuzz-smoke bench bench-smoke bench-arsenal locktrace lockmon mon-smoke machd machd-smoke machd-lockgraph lockcover lockcover-check
 
 all: vet build test
 
@@ -9,10 +9,13 @@ build:
 
 # Standard go vet plus machvet, the repo's own locking-discipline checker
 # (internal/analysis): holdblock, lockorder, unlockpath, refdiscipline,
-# deprecated. Findings fail the build.
-vet:
+# deprecated, atomicity, sleepwake. Findings fail the build. `vet` is the
+# one entry point (CI runs exactly this target); govet/machvet split the
+# two halves for local iteration without duplicating either invocation.
+vet: govet machvet
+
+govet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/machvet ./...
 
 machvet:
 	$(GO) run ./cmd/machvet ./...
@@ -29,8 +32,12 @@ race:
 # explore byte-identical schedules. Also run in CI (before the -race
 # tests), publishing sim-coverage.out as a job artifact. Reproduce a
 # reported failure with MACHSIM_SEED=<seed> or machsim.Replay(schedule).
+# The MACHLOCK_LOCKGRAPH prefix makes the traced packages also dump the
+# lock-order edges they observed (lockgraph-dynamic-kern.json), feeding
+# the `make lockcover` cross-check.
 sim:
-	$(GO) test -run 'TestSim' -coverprofile=sim-coverage.out \
+	MACHLOCK_LOCKGRAPH=$(CURDIR)/lockgraph-dynamic $(GO) test -run 'TestSim' \
+		-coverprofile=sim-coverage.out \
 		-coverpkg=./internal/... \
 		./internal/machsim/ ./internal/core/... ./internal/kern/ ./internal/sched/
 
@@ -82,6 +89,31 @@ machd:
 # drives four distinct scenario mixes over real TCP sockets, scrapes
 # /debug/machlock/metrics, and asserts the SLO quantiles are populated,
 # the combined exposition carries the machlock_* and machd_* families,
-# zero incidents were filed, and BENCH_machd.json validates.
+# zero incidents were filed, and BENCH_machd.json validates. This run is
+# measurement-clean — the trajectory must stay comparable across PRs —
+# so the lock-graph collector (which perturbs spin-lock hold times) gets
+# its own smoke below.
 machd-smoke:
 	$(GO) run ./cmd/machd -smoke -bench BENCH_machd.json
+
+# Same four mixes with the lock-order collector enabled, dumping the
+# observed class edges through the real /debug/machlock/lockgraph
+# endpoint. Its bench report goes to a scratch file: collector-on numbers
+# are not comparable with the committed trajectory.
+machd-lockgraph:
+	$(GO) run ./cmd/machd -smoke -bench lockgraph-bench-scratch.json -lockgraph lockgraph-dynamic-machd.json
+
+# Static-vs-dynamic lock-graph cross-check. `machvet -graph` proves the
+# whole-program class acquisition order; the sim and machd-lockgraph runs
+# record what actually nested at runtime. Any dynamic-only edge is an
+# analysis soundness hole and fails the target; static coverage below the
+# committed baseline (lockgraph-baseline.txt) fails too. The full target
+# regenerates both sides; lockcover-check just diffs what is on disk
+# (CI runs the pieces separately so the artifacts upload individually).
+lockcover: sim machd-lockgraph lockcover-check
+
+lockcover-check:
+	$(GO) run ./cmd/machvet -graph lockgraph-static.json ./...
+	$(GO) run ./cmd/machvet -diff -mincover $$(cat lockgraph-baseline.txt) \
+		lockgraph-static.json lockgraph-dynamic-machd.json lockgraph-dynamic-kern.json \
+		> lockgraph-coverage.txt; st=$$?; cat lockgraph-coverage.txt; exit $$st

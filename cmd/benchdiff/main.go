@@ -1,0 +1,63 @@
+// Command benchdiff gates consecutive machlock-bench/v1 trajectories: it
+// compares two reports scenario-by-scenario and exits nonzero when a p50
+// or p99 latency grew past the tolerance ratio, or when errors appeared in
+// a previously clean scenario. CI runs it with the committed
+// BENCH_machd.json as the baseline and the smoke's fresh report as the
+// candidate:
+//
+//	benchdiff [-tol 4.0] old.json new.json
+//
+// The default tolerance of 4x allows two power-of-two histogram buckets of
+// drift — the measurement stack's stated accuracy on a shared CI box —
+// while still catching the order-of-magnitude collapses a locking
+// regression produces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"machlock/internal/benchjson"
+)
+
+func main() {
+	tol := flag.Float64("tol", 4.0, "latency growth ratio allowed before a scenario fails")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-tol ratio] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	old, err := benchjson.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("benchdiff: %v", err)
+	}
+	cur, err := benchjson.ReadFile(flag.Arg(1))
+	if err != nil {
+		fatalf("benchdiff: %v", err)
+	}
+	if err := cur.Validate(); err != nil {
+		fatalf("benchdiff: candidate: %v", err)
+	}
+
+	regs := benchjson.Compare(old, cur, *tol)
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: OK — %d scenarios within %.1fx of %s\n",
+			len(cur.Scenarios), *tol, flag.Arg(0))
+		return
+	}
+	for _, r := range regs {
+		fmt.Printf("benchdiff: REGRESSION: %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

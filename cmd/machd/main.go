@@ -31,7 +31,9 @@ import (
 	"time"
 
 	"machlock/internal/benchjson"
+	"machlock/internal/lockgraph"
 	"machlock/internal/machd"
+	"machlock/internal/trace"
 )
 
 func main() {
@@ -45,23 +47,28 @@ func main() {
 		poolsize = flag.Int("poolpages", 0, "physical page pool size (0 = half the population's mappings)")
 		threads  = flag.Int("server-threads", 8, "kernel threads draining the service port")
 
-		load     = flag.Bool("load", false, "drive the built-in load generator, then exit")
-		smoke    = flag.Bool("smoke", false, "CI smoke: four mixes on ephemeral ports, assert the scrape, exit")
-		mixFlag  = flag.String("mix", "default", "scenario mix: a named mix or name=weight,...")
-		rate     = flag.Float64("rate", 2000, "open-loop arrival rate (requests/sec)")
-		conns    = flag.Int("conns", 4, "load generator TCP connections")
-		workers  = flag.Int("workers", 16, "load generator concurrent workers")
-		duration = flag.Duration("duration", 10*time.Second, "load duration")
-		timeout  = flag.Duration("timeout", 250*time.Millisecond, "soft per-request deadline")
-		badPct   = flag.Int("bad-lookup-pct", 0, "percent of lookups aimed at a dead name")
-		holdUs   = flag.Int("hold-us", 1000, "chaos slow-holder duration (microseconds)")
-		seed     = flag.Int64("seed", 1, "load generator random seed")
-		bench    = flag.String("bench", "", "write benchjson report here after a load run (- for stdout)")
+		load      = flag.Bool("load", false, "drive the built-in load generator, then exit")
+		smoke     = flag.Bool("smoke", false, "CI smoke: four mixes on ephemeral ports, assert the scrape, exit")
+		mixFlag   = flag.String("mix", "default", "scenario mix: a named mix or name=weight,...")
+		rate      = flag.Float64("rate", 2000, "open-loop arrival rate (requests/sec)")
+		conns     = flag.Int("conns", 4, "load generator TCP connections")
+		workers   = flag.Int("workers", 16, "load generator concurrent workers")
+		duration  = flag.Duration("duration", 10*time.Second, "load duration")
+		timeout   = flag.Duration("timeout", 250*time.Millisecond, "soft per-request deadline")
+		badPct    = flag.Int("bad-lookup-pct", 0, "percent of lookups aimed at a dead name")
+		holdUs    = flag.Int("hold-us", 1000, "chaos slow-holder duration (microseconds)")
+		seed      = flag.Int64("seed", 1, "load generator random seed")
+		bench     = flag.String("bench", "", "write benchjson report here after a load run (- for stdout)")
+		lockGraph = flag.String("lockgraph", "", "collect the runtime lock-order graph and write it here after a smoke/load run (- for stdout)")
 	)
 	flag.Parse()
 
+	if *lockGraph != "" {
+		trace.EnableLockGraph()
+	}
+
 	if *smoke {
-		os.Exit(runSmoke(*bench))
+		os.Exit(runSmoke(*bench, *lockGraph))
 	}
 
 	mix, err := resolveMix(*mixFlag)
@@ -120,6 +127,13 @@ func main() {
 				fmt.Printf("machd: wrote %s\n", *bench)
 			}
 		}
+		if *lockGraph != "" {
+			if err := dumpLockGraph(d, *lockGraph); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				d.Stop()
+				os.Exit(1)
+			}
+		}
 		d.Stop()
 		return
 	}
@@ -164,8 +178,30 @@ func printSummary(w io.Writer, d *machd.Daemon, r *benchjson.Report) {
 // real sockets — each leans on a different subsystem.
 var smokeMixes = []string{"lookup-storm", "churn-heavy", "vm-pressure", "chaos"}
 
+// dumpLockGraph pulls the dynamic lock-order graph through the daemon's
+// real HTTP surface — exercising the monitor endpoint, not just the
+// in-process snapshot — and writes it to path.
+func dumpLockGraph(d *machd.Daemon, path string) error {
+	resp, err := http.Get("http://" + d.HTTPAddr() + "/debug/machlock/lockgraph")
+	if err != nil {
+		return fmt.Errorf("machd: lockgraph fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	g, err := lockgraph.Read(resp.Body)
+	if err != nil {
+		return fmt.Errorf("machd: lockgraph decode: %w", err)
+	}
+	if err := lockgraph.WriteFile(path, g); err != nil {
+		return fmt.Errorf("machd: lockgraph write: %w", err)
+	}
+	if path != "-" {
+		fmt.Printf("machd: wrote %s (%d classes, %d edges)\n", path, len(g.Nodes), len(g.Edges))
+	}
+	return nil
+}
+
 // runSmoke is the CI gate. It returns the process exit code.
-func runSmoke(benchPath string) int {
+func runSmoke(benchPath, lockGraphPath string) int {
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(os.Stderr, "machd-smoke: FAIL: "+format+"\n", args...)
 		return 1
@@ -262,6 +298,11 @@ func runSmoke(benchPath string) int {
 	}
 	if _, err := benchjson.ReadFile(benchPath); err != nil {
 		return fail("re-read report: %v", err)
+	}
+	if lockGraphPath != "" {
+		if err := dumpLockGraph(d, lockGraphPath); err != nil {
+			return fail("%v", err)
+		}
 	}
 	printSummary(os.Stdout, d, report)
 	fmt.Printf("machd-smoke: PASS (%d mixes, %d ops, report %s)\n",

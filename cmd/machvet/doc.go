@@ -2,8 +2,8 @@
 // discipline this repository implements from "Locking and Reference
 // Counting in the Mach Kernel". It is a multichecker in the style of go
 // vet: it loads every package named by its patterns (default ./..., from
-// the module root), runs five passes over each, and exits non-zero if any
-// diagnostic survives.
+// the module root), runs seven passes over each, and exits non-zero if
+// any diagnostic survives.
 //
 // The passes, and the paper rule each one encodes:
 //
@@ -37,9 +37,57 @@
 //	               from them before an unlock/relock window are stale
 //	               after it.
 //
+//	atomicity      The unlock/relock generalization for ordinary locked
+//	               state: a value loaded under a hold is stale after that
+//	               lock is dropped and retaken, and a boolean gate field
+//	               tested under the first hold (pset's draining flag) does
+//	               not authorize mutating the structure under the second —
+//	               re-read it first. The paper's customized-lock protocol
+//	               is sanctioned: setting an in-progress flag under the
+//	               first hold claims the window.
+//
+//	sleepwake      The assert_wait/thread_block window discipline: the
+//	               wait must be asserted BEFORE the condition's lock is
+//	               released (or a wakeup in the gap is lost forever), no
+//	               lock held at the assert may survive to the block, and a
+//	               second assert without an intervening block or
+//	               clear_wait is the runtime's "already waiting" panic.
+//	               sched.ThreadSleep's unlock closure is the sanctioned
+//	               atomic form.
+//
 //	deprecated     Superseded constructors and mutators (cxlock.New/Init,
 //	               cxlock.SetObserver, splock.NewSim), with the
 //	               replacement named in the diagnostic.
+//
+// # Lock-graph mode (-graph)
+//
+//	machvet -graph static.json ./...
+//
+// Instead of reporting diagnostics, -graph walks every function with the
+// same lockstate engine and emits the whole-program lock-order graph in
+// the machlock-lockgraph/v1 schema (internal/lockgraph): nodes are
+// canonical lock classes, edges are held→acquired nestings with the code
+// sites that prove them, may-block flags, and try/upgrade markers.
+// Interprocedural nestings (a call made with locks held whose callee
+// acquires more) are resolved through the call graph.
+//
+// # Cross-checking mode (-diff)
+//
+//	machvet -diff [-mincover pct] static.json dynamic.json [dynamic2.json ...]
+//
+// -diff compares the static graph against one or more dynamic graphs
+// recorded at runtime (the trace collector behind machd -lockgraph and
+// MACHLOCK_LOCKGRAPH=prefix go test). Multiple dynamic graphs are merged
+// first. Every dynamic-only edge — a nesting that actually happened but
+// the analysis never proved — is a soundness hole and fails the run.
+// Static-only edges are coverage gaps (reported with their proving
+// sites); -mincover fails the run when matched coverage drops below the
+// given percentage. Try-only static edges are exempt from coverage (the
+// backout protocol nests opportunistically), and static edges between
+// classes the runtime never observed are excluded rather than counted
+// against coverage. `make lockcover` regenerates both sides and runs the
+// diff against the committed baseline (lockgraph-baseline.txt); CI runs
+// the same pieces and uploads all three JSON artifacts.
 //
 // # Suppressions
 //

@@ -8,18 +8,30 @@ import (
 
 	"machlock/internal/analysis/framework"
 	"machlock/internal/analysis/passes"
+	"machlock/internal/analysis/passes/graph"
+	"machlock/internal/lockgraph"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the passes and exit")
 	only := flag.String("passes", "", "comma-separated subset of passes to run (default: all)")
+	graphOut := flag.String("graph", "", "emit the static machlock-lockgraph/v1 graph to this file (\"-\" for stdout) instead of reporting diagnostics")
+	diffMode := flag.Bool("diff", false, "cross-check graphs: machvet -diff static.json dynamic.json [dynamic2.json ...]")
+	minCover := flag.Float64("mincover", -1, "with -diff: fail unless static-edge coverage is at least this percentage")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: machvet [-list] [-passes p1,p2] [packages]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: machvet [-list] [-passes p1,p2] [packages]\n"+
+			"       machvet -graph out.json [packages]\n"+
+			"       machvet -diff [-mincover pct] static.json dynamic.json [dynamic2.json ...]\n\n"+
 			"machvet checks the repository's locking discipline; see cmd/machvet/doc.go.\n"+
 			"Package patterns default to ./... and resolve from the module root.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *diffMode {
+		runDiff(flag.Args(), *minCover)
+		return
+	}
 
 	suite := passes.All()
 	if *list {
@@ -28,7 +40,11 @@ func main() {
 		}
 		return
 	}
-	if *only != "" {
+	if *graphOut != "" {
+		// Graph emission runs only the graph pass: it reports nothing and
+		// accumulates edges across all loaded packages.
+		suite = []*framework.Analyzer{graph.Analyzer}
+	} else if *only != "" {
 		byName := map[string]*framework.Analyzer{}
 		for _, a := range suite {
 			byName[a.Name] = a
@@ -66,6 +82,9 @@ func main() {
 	// every pass sees its dependencies' facts (holdblock's may-block
 	// summaries, lockorder's edge sets) before it needs them.
 	facts := framework.NewFactStore()
+	if *graphOut != "" {
+		graph.Reset()
+	}
 	exit := 0
 	for _, path := range ld.Roots() {
 		pkg, err := ld.Load(path)
@@ -80,6 +99,53 @@ func main() {
 			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
 			exit = 1
 		}
+	}
+	if *graphOut != "" {
+		g := graph.Snapshot("machvet -graph " + strings.Join(patterns, " "))
+		if err := lockgraph.WriteFile(*graphOut, g); err != nil {
+			fatalf("machvet: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "machvet: wrote %d classes, %d edges to %s\n",
+			len(g.Nodes), len(g.Edges), *graphOut)
+	}
+	os.Exit(exit)
+}
+
+// runDiff cross-checks one static graph against one or more dynamic dumps
+// (merged). Exit 1 on any dynamic-only edge (analysis soundness hole) or,
+// when -mincover is given, on coverage below the gate.
+func runDiff(args []string, minCover float64) {
+	if len(args) < 2 {
+		fatalf("machvet: -diff needs a static graph and at least one dynamic graph")
+	}
+	static, err := lockgraph.ReadFile(args[0])
+	if err != nil {
+		fatalf("machvet: %v", err)
+	}
+	dynamic, err := lockgraph.ReadFile(args[1])
+	if err != nil {
+		fatalf("machvet: %v", err)
+	}
+	for _, path := range args[2:] {
+		more, err := lockgraph.ReadFile(path)
+		if err != nil {
+			fatalf("machvet: %v", err)
+		}
+		dynamic.Merge(more)
+	}
+	res, err := lockgraph.Diff(static, dynamic)
+	if err != nil {
+		fatalf("machvet: %v", err)
+	}
+	res.Report(os.Stdout)
+	exit := 0
+	if !res.Sound() {
+		fmt.Printf("FAIL: %d dynamic-only edge(s) — the runtime exercised orderings machvet cannot see\n", len(res.DynamicOnly))
+		exit = 1
+	}
+	if minCover >= 0 && res.CoveragePct() < minCover {
+		fmt.Printf("FAIL: coverage %.1f%% below the %.1f%% gate\n", res.CoveragePct(), minCover)
+		exit = 1
 	}
 	os.Exit(exit)
 }

@@ -24,6 +24,8 @@ var KnownPasses = map[string]bool{
 	"lockorder":     true,
 	"unlockpath":    true,
 	"refdiscipline": true,
+	"atomicity":     true,
+	"sleepwake":     true,
 	"deprecated":    true,
 }
 

@@ -22,8 +22,11 @@ type Hooks struct {
 	// Release fires for every release, even of a lock this function never
 	// acquired (lock-handoff callees unlock their caller's hold).
 	Release func(op Op)
-	// RefTake fires for reference-taking operations.
-	RefTake func(op Op)
+	// Ref fires for reference operations (takes and releases; distinguish
+	// by op.Kind) with the held set at the call. Object-rooted takes and
+	// releases acquire the object's lock internally, so the graph pass
+	// needs the holds; refdiscipline needs the take itself.
+	Ref func(op Op, held []Held)
 	// Blocking fires at a blocking operation with the locks then held.
 	// n is the *ast.CallExpr for calls, or the channel/select/range
 	// statement for channel operations.
@@ -31,6 +34,10 @@ type Hooks struct {
 	// Call fires for calls that are not part of the locking vocabulary
 	// (used to build may-block call summaries).
 	Call func(call *ast.CallExpr)
+	// CallHeld fires for the same calls as Call, with the held set at the
+	// call site (used to build interprocedural lock-graph edges: the
+	// callee's transitive acquisitions nest under these holds).
+	CallHeld func(call *ast.CallExpr, held []Held)
 	// Exit fires at each return and at an implicit fall-off-the-end exit,
 	// with the held set minus deferred releases.
 	Exit func(pos token.Pos, held []Held)
@@ -174,6 +181,9 @@ func (w *Walker) handleCall(call *ast.CallExpr, st *wstate) {
 		if w.Hooks.Call != nil {
 			w.Hooks.Call(call)
 		}
+		if w.Hooks.CallHeld != nil {
+			w.Hooks.CallHeld(call, append([]Held(nil), st.held...))
+		}
 	}
 	if desc != "" {
 		w.blockingAt(call, desc, st)
@@ -192,9 +202,9 @@ func (w *Walker) apply(op Op, st *wstate) {
 		st.held = append(st.held, Held{Op: op, Pos: op.Call.Pos()})
 	case OpRelease:
 		w.release(op, st)
-	case OpRefTake:
-		if w.Hooks.RefTake != nil {
-			w.Hooks.RefTake(op)
+	case OpRefTake, OpRefRelease:
+		if w.Hooks.Ref != nil {
+			w.Hooks.Ref(op, append([]Held(nil), st.held...))
 		}
 	}
 	// OpTryAcquire and the upgrade/downgrade ops only change state through

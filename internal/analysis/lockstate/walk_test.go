@@ -1,0 +1,131 @@
+package lockstate_test
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"machlock/internal/analysis/framework"
+	"machlock/internal/analysis/lockstate"
+)
+
+// loadWalkloop loads the walkloop testdata package once for the walker
+// regression tests below.
+func loadWalkloop(t *testing.T) *framework.Package {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := framework.ModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := framework.NewLoader(root, "machlock/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "src", "walkloop")
+	pkg, err := ld.LoadDir(dir, "machvet.test/walkloop")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	return pkg
+}
+
+func funcBody(t *testing.T, pkg *framework.Package, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+				return fd.Body
+			}
+		}
+	}
+	t.Fatalf("function %s not found in walkloop fixture", name)
+	return nil
+}
+
+// exitHolds walks the named fixture function and returns the lock keys
+// effectively held at each exit (deferred releases already subtracted),
+// plus the total number of Acquire events the walker fired.
+func exitHolds(t *testing.T, pkg *framework.Package, name string) (exits [][]string, acquires int) {
+	t.Helper()
+	w := &lockstate.Walker{
+		Info: pkg.TypesInfo,
+		Hooks: lockstate.Hooks{
+			Acquire: func(op lockstate.Op, _ []lockstate.Held) { acquires++ },
+			Exit: func(_ token.Pos, held []lockstate.Held) {
+				var keys []string
+				for _, h := range held {
+					keys = append(keys, h.Op.Key)
+				}
+				exits = append(exits, keys)
+			},
+		},
+	}
+	if !w.WalkFunc(funcBody(t, pkg, name)) {
+		t.Fatalf("%s: walk aborted", name)
+	}
+	return exits, acquires
+}
+
+// TestDeferInLoopBalances pins the defer-inside-a-loop shape: every
+// iteration defers its own unlock, so the exit must be hold-free.
+func TestDeferInLoopBalances(t *testing.T) {
+	pkg := loadWalkloop(t)
+	exits, acquires := exitHolds(t, pkg, "deferInLoop")
+	if acquires == 0 {
+		t.Fatal("walker saw no acquisitions")
+	}
+	for _, held := range exits {
+		if len(held) != 0 {
+			t.Errorf("deferInLoop exit still holds %v; loop defers must credit the loop's acquisitions", held)
+		}
+	}
+}
+
+// TestLoopLeakStillHeld pins the failure direction: acquisitions in a
+// loop with no release anywhere must survive to the exit.
+func TestLoopLeakStillHeld(t *testing.T) {
+	pkg := loadWalkloop(t)
+	exits, _ := exitHolds(t, pkg, "loopLeak")
+	if len(exits) == 0 {
+		t.Fatal("no exits recorded")
+	}
+	for _, held := range exits {
+		if len(held) == 0 {
+			t.Error("loopLeak exit shows no holds; the loop's acquisitions were lost")
+		}
+	}
+}
+
+// TestOneReleaseDoesNotCreditLoop is the regression the summary layer
+// depends on: releasing one lock through a different expression (ls[0])
+// must not cancel the loop-variable acquisitions — one release, N
+// acquisitions.
+func TestOneReleaseDoesNotCreditLoop(t *testing.T) {
+	pkg := loadWalkloop(t)
+	exits, _ := exitHolds(t, pkg, "oneReleaseManyAcquires")
+	if len(exits) == 0 {
+		t.Fatal("no exits recorded")
+	}
+	for _, held := range exits {
+		if len(held) == 0 {
+			t.Error("oneReleaseManyAcquires exit shows no holds; a single ls[0] release was credited against the loop's N acquisitions")
+		}
+	}
+}
+
+// TestBalancedLoopClean pins the no-false-positive side.
+func TestBalancedLoopClean(t *testing.T) {
+	pkg := loadWalkloop(t)
+	exits, _ := exitHolds(t, pkg, "balancedInLoop")
+	for _, held := range exits {
+		if len(held) != 0 {
+			t.Errorf("balancedInLoop exit still holds %v", held)
+		}
+	}
+}

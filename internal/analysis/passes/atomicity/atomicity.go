@@ -1,0 +1,381 @@
+// Package atomicity generalizes the deactivation-recheck rule from
+// deactivatable objects (refdiscipline's territory) to ordinary locked
+// state: a function that drops a lock and takes it again has published an
+// atomicity hole, and anything it learned under the first hold is
+// unreliable under the second.
+//
+//  1. Stale loads: a value loaded from the protected structure while the
+//     lock was held is stale after an unlock/relock of that same lock and
+//     must be re-read under the new hold.
+//  2. Check-then-act: a boolean gate field tested under the first hold
+//     (an if-guard like pset's `draining` gate) does not authorize
+//     mutating the structure after the relock; the gate must be re-read
+//     first, because a competing thread may have flipped it in the
+//     window. Only boolean fields are gates — structural conditions like
+//     `len(s.procs) == 0` govern the iteration that re-checks them. The
+//     paper's customized-lock protocol is sanctioned: a function that
+//     sets an in-progress boolean on the structure under the first hold
+//     has claimed the gate and owns the window.
+//
+// Both rules apply to the non-object locking vocabulary (splock wrappers,
+// cxlock, machlock interfaces); windows on object.Object holds are
+// refdiscipline's, which additionally demands a reference across them.
+package atomicity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"machlock/internal/analysis/framework"
+	"machlock/internal/analysis/lockstate"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "atomicity",
+	Doc: "atomicity reports check-then-act races across an unlock/relock " +
+		"window of the same lock: values loaded under the first hold that are " +
+		"reused after the relock, and if-guards tested under the first hold " +
+		"whose structure is mutated after the relock without re-checking.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// window is one unlock→relock span of a single lock key within a
+// function. firstAcq is the first in-function acquisition of that lock
+// (NoPos for lock-handoff callees that release a hold they never took).
+type window struct {
+	root     types.Object // receiver variable of the lock expression
+	key      string       // lock-instance key ("s.members", "z.lock")
+	firstAcq token.Pos
+	unlock   token.Pos
+	relock   token.Pos
+}
+
+// fieldLoad records "v := x.field" (root x) for the staleness rule.
+type fieldLoad struct {
+	root types.Object
+	pos  token.Pos
+}
+
+// guard records a field read inside an if condition, for check-then-act:
+// root.field was tested at pos.
+type guard struct {
+	root  types.Object
+	field types.Object
+	pos   token.Pos
+}
+
+// fieldWrite records a direct assignment through root.field at pos.
+// boolField marks gate writes (in-progress/state flags).
+type fieldWrite struct {
+	root      types.Object
+	pos       token.Pos
+	boolField bool
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Window pairing per lock key: each release records the most recent
+	// unlock, and the next acquisition of the same key closes a window
+	// against it. Pairing against the LAST unlock (not the first) matters
+	// when a back-out branch releases early and returns: the window that
+	// reaches the relock is the fall-through path's, and that is the one
+	// whose hold the guard must be re-established under.
+	type keyState struct {
+		root       types.Object
+		firstAcq   token.Pos
+		lastUnlock token.Pos
+	}
+	keys := map[string]*keyState{}
+	var open []*window
+
+	w := &lockstate.Walker{
+		Info: info,
+		Hooks: lockstate.Hooks{
+			Acquire: func(op lockstate.Op, _ []lockstate.Held) {
+				if op.IsObject || op.Key == "" {
+					return
+				}
+				ks, ok := keys[op.Key]
+				if !ok {
+					keys[op.Key] = &keyState{root: op.Root, firstAcq: op.Call.Pos()}
+					return
+				}
+				if ks.lastUnlock != token.NoPos {
+					open = append(open, &window{
+						root: ks.root, key: op.Key, firstAcq: ks.firstAcq,
+						unlock: ks.lastUnlock, relock: op.Call.Pos(),
+					})
+					ks.lastUnlock = token.NoPos
+				}
+			},
+			Release: func(op lockstate.Op) {
+				if op.IsObject || op.Kind != lockstate.OpRelease || op.Key == "" {
+					return
+				}
+				ks, ok := keys[op.Key]
+				if !ok {
+					// Lock-handoff: releasing a hold the caller passed in.
+					ks = &keyState{root: op.Root}
+					keys[op.Key] = ks
+				}
+				ks.lastUnlock = op.Call.Pos()
+			},
+		},
+	}
+	if !w.WalkFunc(fd.Body) {
+		return // goto: control flow too irregular to judge
+	}
+
+	var wins []*window
+	for _, win := range open {
+		if win.root != nil {
+			wins = append(wins, win)
+		}
+	}
+	if len(wins) == 0 {
+		return
+	}
+	open = wins
+
+	loads, guards, writes, rereads, breaks := prescan(info, fd.Body)
+
+	// Rule 1 — stale loads: v was loaded from win.root under the first
+	// hold and is used after the relock. Last-wins load tracking means a
+	// re-read after the relock self-suppresses (the load entry moves past
+	// the window).
+	for v, ld := range loads {
+		for _, win := range open {
+			if ld.root != win.root {
+				continue
+			}
+			if !inWindowPrefix(ld.pos, win) {
+				continue
+			}
+			use := firstUseAfter(info, fd.Body, v, win.relock)
+			if use == token.NoPos {
+				continue
+			}
+			pass.Reportf(use,
+				"%s was loaded from %s while %s was held, but the lock was dropped and reacquired; the value is stale under the new hold — re-read it after relocking",
+				v.Name(), ld.root.Name(), win.key)
+			break
+		}
+	}
+
+	// Rule 2 — check-then-act: an if-guard tested root.field under the
+	// first hold, and the structure is written after the relock without
+	// re-reading that field under the new hold. Sanctioned escapes:
+	//   - a boolean field written on the root under the first hold is a
+	//     claimed in-progress flag (the customized-lock protocol) and
+	//     privatizes the whole window;
+	//   - writes to boolean fields are gate updates, not acts;
+	//   - a continue/break/return between the relock and the write means
+	//     the two are not straight-line (wait loops relock and loop back
+	//     to re-run the guards).
+	for _, g := range guards {
+		for _, win := range open {
+			if g.root != win.root || !inWindowPrefix(g.pos, win) {
+				continue
+			}
+			if claimsGate(writes, win) {
+				continue
+			}
+			for _, fw := range writes {
+				if fw.root != g.root || fw.pos <= win.relock || fw.boolField {
+					continue
+				}
+				if rereadBetween(rereads, g.field, win.relock, fw.pos) {
+					continue
+				}
+				if anyPosBetween(breaks, win.relock, fw.pos) {
+					continue
+				}
+				pass.Reportf(fw.pos,
+					"%s.%s was checked while %s was held, but the lock was dropped and reacquired before this write; the guard no longer holds — re-check %s.%s under the new hold",
+					g.root.Name(), g.field.Name(), win.key, g.root.Name(), g.field.Name())
+				break
+			}
+		}
+	}
+}
+
+// claimsGate reports whether the function wrote a boolean field on the
+// window's root under the first hold — the customized-lock in-progress
+// claim that makes the unlock/relock window private.
+func claimsGate(writes []fieldWrite, win *window) bool {
+	for _, fw := range writes {
+		if fw.boolField && fw.root == win.root && inWindowPrefix(fw.pos, win) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyPosBetween reports whether any position in ps falls in (lo, hi).
+func anyPosBetween(ps []token.Pos, lo, hi token.Pos) bool {
+	for _, p := range ps {
+		if p > lo && p < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// inWindowPrefix reports whether pos falls inside the first hold: after
+// the window's in-function acquisition (when there is one) and before its
+// unlock.
+func inWindowPrefix(pos token.Pos, win *window) bool {
+	if pos >= win.unlock {
+		return false
+	}
+	return win.firstAcq == token.NoPos || pos > win.firstAcq
+}
+
+// prescan collects, in one pass over the body: last-wins field loads
+// (v := x.field), if-condition field reads (guards), direct field writes
+// (x.field = ...), every field-read position (for recheck detection), and
+// the positions of continue/break/return statements (straight-line
+// detection for rule 2).
+func prescan(info *types.Info, body *ast.BlockStmt) (map[types.Object]fieldLoad, []guard, []fieldWrite, map[types.Object][]token.Pos, []token.Pos) {
+	loads := map[types.Object]fieldLoad{}
+	var guards []guard
+	var writes []fieldWrite
+	rereads := map[types.Object][]token.Pos{}
+	var breaks []token.Pos
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate frame; its state is its own problem
+		case *ast.ReturnStmt:
+			breaks = append(breaks, n.Pos())
+		case *ast.BranchStmt:
+			if n.Tok != token.GOTO {
+				breaks = append(breaks, n.Pos())
+			}
+		case *ast.SelectorExpr:
+			if fobj, ok := info.Uses[n.Sel].(*types.Var); ok && fobj.IsField() {
+				rereads[fobj] = append(rereads[fobj], n.Sel.Pos())
+			}
+		case *ast.IfStmt:
+			collectGuards(info, n.Cond, &guards)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if root := lockstate.RootObject(info, sel.X); root != nil {
+						writes = append(writes, fieldWrite{
+							root: root, pos: lhs.Pos(),
+							boolField: isBoolField(info, sel),
+						})
+					}
+					continue
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" || len(n.Lhs) != len(n.Rhs) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if sel, ok := ast.Unparen(n.Rhs[i]).(*ast.SelectorExpr); ok {
+					if root := lockstate.RootObject(info, sel.X); root != nil && root != obj {
+						loads[obj] = fieldLoad{root: root, pos: n.Pos()}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				if root := lockstate.RootObject(info, sel.X); root != nil {
+					writes = append(writes, fieldWrite{root: root, pos: n.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return loads, guards, writes, rereads, breaks
+}
+
+// isBoolField reports whether sel resolves to a boolean struct field.
+func isBoolField(info *types.Info, sel *ast.SelectorExpr) bool {
+	fobj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !fobj.IsField() {
+		return false
+	}
+	b, ok := fobj.Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// collectGuards records every boolean gate field read inside an if
+// condition. Only if conditions count: for-loop conditions re-test on
+// every iteration by construction (the spin/relock pattern). Only boolean
+// fields count: they are the state gates (draining, active, wired) whose
+// check authorizes the act; structural reads like len(s.procs) are the
+// loop bookkeeping around them.
+func collectGuards(info *types.Info, cond ast.Expr, out *[]guard) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fobj, ok := info.Uses[sel.Sel].(*types.Var)
+		if !ok || !fobj.IsField() {
+			return true
+		}
+		if b, ok := fobj.Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Bool {
+			return true
+		}
+		if root := lockstate.RootObject(info, sel.X); root != nil {
+			*out = append(*out, guard{root: root, field: fobj, pos: sel.Pos()})
+		}
+		return true
+	})
+}
+
+// rereadBetween reports whether field was read anywhere in (lo, hi) —
+// the recheck that legitimizes acting on an old guard.
+func rereadBetween(rereads map[types.Object][]token.Pos, field types.Object, lo, hi token.Pos) bool {
+	for _, p := range rereads[field] {
+		if p > lo && p < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// firstUseAfter returns the position of the first use of v after pos.
+func firstUseAfter(info *types.Info, body *ast.BlockStmt, v types.Object, pos token.Pos) token.Pos {
+	first := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if first != token.NoPos {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if ok && id.Pos() > pos && info.Uses[id] == v {
+			first = id.Pos()
+		}
+		return first == token.NoPos
+	})
+	return first
+}

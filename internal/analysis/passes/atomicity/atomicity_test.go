@@ -1,0 +1,12 @@
+package atomicity_test
+
+import (
+	"testing"
+
+	"machlock/internal/analysis/framework/analysistest"
+	"machlock/internal/analysis/passes/atomicity"
+)
+
+func TestAtomicity(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicity.Analyzer, "atomicity")
+}

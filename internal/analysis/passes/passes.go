@@ -5,10 +5,12 @@ package passes
 
 import (
 	"machlock/internal/analysis/framework"
+	"machlock/internal/analysis/passes/atomicity"
 	"machlock/internal/analysis/passes/deprecated"
 	"machlock/internal/analysis/passes/holdblock"
 	"machlock/internal/analysis/passes/lockorder"
 	"machlock/internal/analysis/passes/refdiscipline"
+	"machlock/internal/analysis/passes/sleepwake"
 	"machlock/internal/analysis/passes/unlockpath"
 )
 
@@ -19,6 +21,8 @@ func All() []*framework.Analyzer {
 		lockorder.Analyzer,
 		unlockpath.Analyzer,
 		refdiscipline.Analyzer,
+		atomicity.Analyzer,
+		sleepwake.Analyzer,
 		deprecated.Analyzer,
 	}
 }

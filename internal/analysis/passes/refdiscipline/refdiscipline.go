@@ -149,8 +149,8 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 	w := &lockstate.Walker{
 		Info: info,
 		Hooks: lockstate.Hooks{
-			RefTake: func(op lockstate.Op) {
-				if op.Root != nil {
+			Ref: func(op lockstate.Op, _ []lockstate.Held) {
+				if op.Kind == lockstate.OpRefTake && op.Root != nil {
 					refTaken[op.Root] = true
 				}
 			},

@@ -1,0 +1,150 @@
+// Package sleepwake enforces the sched wait-protocol window discipline
+// (the paper's assert_wait/thread_block split, Figure "simple locking for
+// sleep/wakeup"):
+//
+//  1. Lost wakeup: sched.AssertWait must run BEFORE the lock guarding the
+//     awaited condition is released. A function that releases its locks
+//     and only then asserts the wait has opened a window in which the
+//     wakeup can fire with nobody registered — the wakeup is lost and the
+//     thread sleeps forever.
+//  2. Block while holding: a lock held at the AssertWait must be released
+//     before ThreadBlock (the runtime panics on spin locks held across a
+//     block; the static check also covers complex locks, which would
+//     deadlock the waker). ThreadSleep is exempt — its unlock closure is
+//     the sanctioned atomic assert-and-release.
+//  3. Double assert: a second AssertWait (or ThreadSleep, which asserts
+//     internally) without an intervening ThreadBlock/ThreadSleep/ClearWait
+//     panics at runtime ("assert_wait while already waiting").
+//
+// Function literals are walked as their own frames: waiters in this
+// repository are usually sched.Go closures.
+package sleepwake
+
+import (
+	"go/ast"
+	"go/token"
+
+	"machlock/internal/analysis/framework"
+	"machlock/internal/analysis/lockstate"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "sleepwake",
+	Doc: "sleepwake reports violations of the assert-wait window discipline: " +
+		"asserting a wait after the condition's locks were already released " +
+		"(lost wakeup), holding a lock from the assert through ThreadBlock, " +
+		"and double asserts without an intervening block or clear.",
+	Run: run,
+}
+
+const schedPath = "machlock/internal/sched"
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFrame(pass, fd.Body)
+			// Each function literal is a separate execution frame (usually
+			// a sched.Go thread body) with its own wait-protocol state.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkFrame(pass, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// schedCall classifies a call as one of the wait-protocol entry points
+// (package-level or Table method).
+func schedCall(pass *framework.Pass, call *ast.CallExpr) string {
+	fn, _ := lockstate.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != schedPath {
+		return ""
+	}
+	switch fn.Name() {
+	case "AssertWait", "ThreadBlock", "ThreadSleep", "ClearWait":
+		return fn.Name()
+	}
+	return ""
+}
+
+func checkFrame(pass *framework.Pass, body *ast.BlockStmt) {
+	// Wait-protocol state along the walker's traversal. The walker fires
+	// hooks in source order within each path, so a linear state machine
+	// tracks the assert→block window.
+	var (
+		pendingAssert token.Pos // active AssertWait awaiting its block
+		assertHeld    []lockstate.Held
+		releasedSince bool // a classified lock was released since the last block
+	)
+
+	w := &lockstate.Walker{
+		Info: pass.TypesInfo,
+		Hooks: lockstate.Hooks{
+			Release: func(op lockstate.Op) {
+				if op.Kind == lockstate.OpRelease {
+					releasedSince = true
+				}
+			},
+			CallHeld: func(call *ast.CallExpr, held []lockstate.Held) {
+				switch schedCall(pass, call) {
+				case "AssertWait":
+					if pendingAssert != token.NoPos {
+						pass.Reportf(call.Pos(),
+							"second AssertWait without an intervening ThreadBlock/ThreadSleep/ClearWait; the scheduler panics on assert_wait while already waiting")
+					}
+					if len(held) == 0 && releasedSince {
+						pass.Reportf(call.Pos(),
+							"AssertWait after the condition's lock was already released: a wakeup in the window is lost — assert the wait first, then unlock, then ThreadBlock")
+					}
+					pendingAssert = call.Pos()
+					assertHeld = held
+				case "ThreadSleep":
+					// Asserts internally; its unlock closure already ran
+					// (the walker applies closure releases first), so the
+					// atomic assert-and-release idiom is correct by
+					// construction. It still trips a pending assert.
+					if pendingAssert != token.NoPos {
+						pass.Reportf(call.Pos(),
+							"ThreadSleep while an AssertWait is already pending; the scheduler panics on assert_wait while already waiting")
+					}
+					pendingAssert = token.NoPos
+					assertHeld = nil
+					releasedSince = false
+				case "ThreadBlock":
+					if pendingAssert != token.NoPos {
+						for _, h := range assertHeld {
+							if stillHeld(held, h.Op.Key) {
+								pass.Reportf(call.Pos(),
+									"%s is held from the AssertWait through ThreadBlock; release it between the assert and the block (the waker needs it to deliver the wakeup)",
+									h.Op.Key)
+							}
+						}
+					}
+					pendingAssert = token.NoPos
+					assertHeld = nil
+					releasedSince = false
+				case "ClearWait":
+					pendingAssert = token.NoPos
+					assertHeld = nil
+				}
+			},
+		},
+	}
+	w.WalkFunc(body)
+}
+
+func stillHeld(held []lockstate.Held, key string) bool {
+	for _, h := range held {
+		if h.Op.Key == key {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package sleepwake_test
+
+import (
+	"testing"
+
+	"machlock/internal/analysis/framework/analysistest"
+	"machlock/internal/analysis/passes/sleepwake"
+)
+
+func TestSleepwake(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), sleepwake.Analyzer, "sleepwake")
+}

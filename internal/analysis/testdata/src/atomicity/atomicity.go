@@ -1,0 +1,135 @@
+// Fixture for the atomicity pass: stale loads and check-then-act gates
+// across an unlock/relock window of the same (non-object) lock, plus the
+// sanctioned shapes — re-reading after the relock, single continuous
+// holds, and spin-loop conditions that re-test by construction.
+package atomicity
+
+import (
+	"errors"
+
+	"machlock/internal/core/cxlock"
+	"machlock/internal/core/splock"
+)
+
+var errTerminated = errors.New("terminated")
+
+type res struct {
+	lock  splock.Lock
+	busy  bool
+	count int
+}
+
+// A value loaded under the first hold is stale after the relock.
+func staleLoad(m *res) {
+	m.lock.Lock()
+	v := m.count
+	m.lock.Unlock()
+	work(v)
+	m.lock.Lock()
+	m.count = v + 1 // want `v was loaded from m while m.lock was held`
+	m.lock.Unlock()
+}
+
+// Re-reading under the new hold is the fix; the load entry moves past the
+// window and self-suppresses.
+func staleLoadFixed(m *res) {
+	m.lock.Lock()
+	v := m.count
+	m.lock.Unlock()
+	work(v)
+	m.lock.Lock()
+	v = m.count
+	m.count = v + 1
+	m.lock.Unlock()
+}
+
+// One continuous hold has no window and nothing to report.
+func continuousHold(m *res) {
+	m.lock.Lock()
+	v := m.count
+	m.count = v + 1
+	m.lock.Unlock()
+}
+
+// A spin loop's condition re-tests on every iteration; the unlock/relock
+// inside it is the sanctioned wait pattern, not a stale gate.
+func spinGate(m *res) {
+	m.lock.Lock()
+	for m.busy {
+		m.lock.Unlock()
+		pause()
+		m.lock.Lock()
+	}
+	m.count++
+	m.lock.Unlock()
+}
+
+// Replica of the pre-fix pset draining gate: liveness is tested under one
+// write hold, the hold is dropped for the slow path, and the append runs
+// under a fresh hold without re-testing — Destroy's drain can slip into
+// the window and the task leaks onto a dead set.
+type pset struct {
+	members  cxlock.Lock
+	draining bool
+	tasks    []*task
+}
+
+type task struct{ id int }
+
+func assignDrainRace(s *pset, t *task) error {
+	s.members.Write(nil)
+	if s.draining {
+		s.members.Done(nil)
+		return errTerminated
+	}
+	s.members.Done(nil)
+	prepare(t)
+	s.members.Write(nil)
+	s.tasks = append(s.tasks, t) // want `s\.draining was checked while s\.members was held`
+	s.members.Done(nil)
+	return nil
+}
+
+// Re-checking the gate under the new hold is the fix (this is what
+// AssignTask does today).
+func assignDrainChecked(s *pset, t *task) error {
+	s.members.Write(nil)
+	if s.draining {
+		s.members.Done(nil)
+		return errTerminated
+	}
+	s.members.Done(nil)
+	prepare(t)
+	s.members.Write(nil)
+	if s.draining {
+		s.members.Done(nil)
+		return errTerminated
+	}
+	s.tasks = append(s.tasks, t)
+	s.members.Done(nil)
+	return nil
+}
+
+// Structural conditions (len, counts) are not gates: the loop that reads
+// them re-checks on every pass, and the post-loop write is governed by
+// the loop's own protocol.
+func drainAll(s *pset) {
+	for {
+		s.members.Write(nil)
+		if len(s.tasks) == 0 {
+			s.members.Done(nil)
+			break
+		}
+		t := s.tasks[0]
+		s.tasks = s.tasks[1:]
+		s.members.Done(nil)
+		prepare(t)
+	}
+	s.members.Write(nil)
+	s.draining = false
+	s.members.Done(nil)
+}
+
+func work(int)      {}
+func pause()        {}
+func prepare(*task) {}

@@ -1,0 +1,106 @@
+// Fixture for the sleepwake pass: the assert-wait window discipline.
+// Correct waiters assert under the condition's lock, release, then block;
+// the violations are asserting after the release (lost wakeup), holding
+// the lock through ThreadBlock, and double asserts. ThreadSleep's unlock
+// closure is the sanctioned atomic form.
+package sleepwake
+
+import (
+	"machlock/internal/core/splock"
+	"machlock/internal/sched"
+)
+
+type cond struct {
+	lock  splock.Lock
+	ready bool
+	ev    sched.Event
+}
+
+// The paper's shape: assert under the lock, release, block, retest.
+func waitCorrect(t *sched.Thread, c *cond) {
+	c.lock.Lock()
+	for !c.ready {
+		sched.AssertWait(t, c.ev)
+		c.lock.Unlock()
+		sched.ThreadBlock(t)
+		c.lock.Lock()
+	}
+	c.lock.Unlock()
+}
+
+// Releasing the condition's lock before asserting opens the lost-wakeup
+// window: the waker can fire between the unlock and the assert.
+func waitLostWakeup(t *sched.Thread, c *cond) {
+	c.lock.Lock()
+	c.ready = false
+	c.lock.Unlock()
+	sched.AssertWait(t, c.ev) // want `AssertWait after the condition's lock was already released`
+	sched.ThreadBlock(t)
+}
+
+// Holding the lock from the assert through the block starves the waker.
+func blockWhileHeld(t *sched.Thread, c *cond) {
+	c.lock.Lock()
+	sched.AssertWait(t, c.ev)
+	sched.ThreadBlock(t) // want `c\.lock is held from the AssertWait through ThreadBlock`
+	c.lock.Unlock()
+}
+
+// Two asserts with no block or clear between them panic at runtime.
+func doubleAssert(t *sched.Thread, c *cond) {
+	c.lock.Lock()
+	sched.AssertWait(t, c.ev)
+	sched.AssertWait(t, c.ev) // want `second AssertWait without an intervening`
+	c.lock.Unlock()
+	sched.ThreadBlock(t)
+}
+
+// ThreadSleep asserts internally, so a pending assert is the same panic.
+func sleepWhilePending(t *sched.Thread, c *cond) {
+	c.lock.Lock()
+	sched.AssertWait(t, c.ev)
+	sched.ThreadSleep(t, c.ev, func() { c.lock.Unlock() }) // want `ThreadSleep while an AssertWait is already pending`
+}
+
+// The atomic assert-and-release idiom is correct by construction.
+func sleepIdiom(t *sched.Thread, c *cond) {
+	c.lock.Lock()
+	for !c.ready {
+		sched.ThreadSleep(t, c.ev, func() { c.lock.Unlock() })
+		c.lock.Lock()
+	}
+	c.lock.Unlock()
+}
+
+// ClearWait closes the window; a fresh assert afterwards is fine.
+func assertClearAssert(t *sched.Thread, c *cond) {
+	c.lock.Lock()
+	sched.AssertWait(t, c.ev)
+	if c.ready {
+		sched.ClearWait(t)
+		sched.AssertWait(t, c.ev)
+	}
+	c.lock.Unlock()
+	sched.ThreadBlock(t)
+}
+
+// The Table-method forms follow the same discipline.
+func tableForms(tb *sched.Table, t *sched.Thread, c *cond) {
+	c.lock.Lock()
+	c.ready = false
+	c.lock.Unlock()
+	tb.AssertWait(t, c.ev) // want `AssertWait after the condition's lock was already released`
+	tb.ThreadBlock(t)
+}
+
+// Waiters usually live in sched.Go closures; each literal is its own
+// frame.
+func goFrame(c *cond) {
+	sched.Go("waiter", func(t *sched.Thread) {
+		c.lock.Lock()
+		c.ready = false
+		c.lock.Unlock()
+		sched.AssertWait(t, c.ev) // want `AssertWait after the condition's lock was already released`
+		sched.ThreadBlock(t)
+	})
+}

@@ -1,0 +1,51 @@
+// Fixture for the lockstate walker's loop/defer bookkeeping, driven
+// directly by walk_test.go (no want comments — the test asserts on hook
+// events). Each function is one shape the walker must model correctly.
+package walkloop
+
+import "machlock/internal/core/splock"
+
+type res struct {
+	lock splock.Lock
+}
+
+// deferInLoop acquires every lock in the slice and defers every unlock:
+// balanced at runtime (N acquisitions, N deferred releases), so the exit
+// must see no effective holds.
+func deferInLoop(ls []*res) {
+	for _, l := range ls {
+		l.lock.Lock()
+		defer l.lock.Unlock()
+	}
+	work()
+}
+
+// loopLeak acquires in a loop and never releases: the exit must still see
+// the hold.
+func loopLeak(ls []*res) {
+	for _, l := range ls {
+		l.lock.Lock()
+	}
+	work()
+}
+
+// oneReleaseManyAcquires acquires N locks through the loop variable but
+// releases only one, through a different expression: the single release
+// must not be credited against the loop's acquisitions.
+func oneReleaseManyAcquires(ls []*res) {
+	for _, l := range ls {
+		l.lock.Lock()
+	}
+	ls[0].lock.Unlock()
+}
+
+// balancedInLoop locks and unlocks within each iteration: nothing escapes.
+func balancedInLoop(ls []*res) {
+	for _, l := range ls {
+		l.lock.Lock()
+		work()
+		l.lock.Unlock()
+	}
+}
+
+func work() {}

@@ -134,6 +134,56 @@ func (r *Report) Validate() error {
 	return nil
 }
 
+// Regression is one metric that moved past tolerance between two runs of
+// the same trajectory.
+type Regression struct {
+	Scenario string  // scenario name
+	Metric   string  // "p50_ns", "p99_ns", or "errors"
+	Old, New int64   // the two values
+	Ratio    float64 // New/Old (0 when Old is 0)
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %d -> %d (%.2fx)", r.Scenario, r.Metric, r.Old, r.New, r.Ratio)
+}
+
+// Compare diffs two consecutive trajectory reports scenario-by-scenario
+// and returns the regressions: a p50 or p99 latency that grew by more than
+// tol (a ratio — 4.0 allows two power-of-two histogram buckets of drift,
+// the repo's measurement accuracy on a noisy CI box), or errors appearing
+// in a scenario that had none. Scenarios present in only one report are
+// skipped: mixes come and go across PRs, and a disappearing scenario is a
+// review concern, not a perf gate's.
+func Compare(old, cur *Report, tol float64) []Regression {
+	var regs []Regression
+	if old == nil || cur == nil {
+		return regs
+	}
+	check := func(name, metric string, o, n int64) {
+		if o <= 0 || n <= o {
+			return
+		}
+		if ratio := float64(n) / float64(o); ratio > tol {
+			regs = append(regs, Regression{Scenario: name, Metric: metric, Old: o, New: n, Ratio: ratio})
+		}
+	}
+	for name, os := range old.Scenarios {
+		ns, ok := cur.Scenarios[name]
+		if !ok || os == nil || ns == nil || os.Ops == 0 || ns.Ops == 0 {
+			continue
+		}
+		check(name, "p50_ns", os.P50Ns, ns.P50Ns)
+		check(name, "p99_ns", os.P99Ns, ns.P99Ns)
+		if os.Errors == 0 && ns.Errors > 0 {
+			regs = append(regs, Regression{
+				Scenario: name, Metric: "errors",
+				Old: os.Errors, New: ns.Errors,
+			})
+		}
+	}
+	return regs
+}
+
 // WriteFile writes the report as indented JSON (path "-" writes to
 // stdout).
 func WriteFile(path string, r *Report) error {

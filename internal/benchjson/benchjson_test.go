@@ -43,6 +43,55 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCompare(t *testing.T) {
+	old := sample()
+	cur := sample()
+	if regs := Compare(old, cur, 4.0); len(regs) != 0 {
+		t.Fatalf("identical reports must not regress: %v", regs)
+	}
+
+	// p99 blowing past tolerance is caught; within-tolerance drift is not.
+	cur = sample()
+	cur.Scenarios["lookup"].P99Ns = old.Scenarios["lookup"].P99Ns * 5
+	regs := Compare(old, cur, 4.0)
+	if len(regs) != 1 || regs[0].Scenario != "lookup" || regs[0].Metric != "p99_ns" {
+		t.Fatalf("want one lookup p99 regression, got %v", regs)
+	}
+	if regs[0].Ratio < 4.9 || regs[0].Ratio > 5.1 {
+		t.Fatalf("ratio: %v", regs[0])
+	}
+	cur.Scenarios["lookup"].P99Ns = old.Scenarios["lookup"].P99Ns * 3
+	if regs := Compare(old, cur, 4.0); len(regs) != 0 {
+		t.Fatalf("3x within a 4x gate must pass: %v", regs)
+	}
+
+	// Latency improving is never a regression.
+	cur = sample()
+	cur.Scenarios["lookup"].P50Ns = 1
+	cur.Scenarios["lookup"].P99Ns = 2
+	if regs := Compare(old, cur, 4.0); len(regs) != 0 {
+		t.Fatalf("faster run flagged: %v", regs)
+	}
+
+	// New errors in a previously clean scenario are flagged regardless of
+	// latency.
+	cur = sample()
+	cur.Scenarios["churn"].Errors = 7
+	regs = Compare(old, cur, 4.0)
+	if len(regs) != 1 || regs[0].Metric != "errors" || regs[0].Scenario != "churn" {
+		t.Fatalf("want churn errors regression, got %v", regs)
+	}
+
+	// Scenarios present on only one side are skipped, as are zero-op runs.
+	cur = sample()
+	delete(cur.Scenarios, "churn")
+	cur.Scenarios["fresh"] = &Scenario{Ops: 5, P50Ns: 1, P90Ns: 1, P99Ns: 1}
+	old.Scenarios["lookup"].Ops = 0
+	if regs := Compare(old, cur, 4.0); len(regs) != 0 {
+		t.Fatalf("membership changes are not regressions: %v", regs)
+	}
+}
+
 func TestValidateRejectsMalformed(t *testing.T) {
 	cases := map[string]func(*Report){
 		"wrong schema":       func(r *Report) { r.Schema = "bogus/v9" },

@@ -1,0 +1,15 @@
+package kern
+
+import (
+	"os"
+	"testing"
+
+	"machlock/internal/trace"
+)
+
+// TestMain lets `make sim` double as a dynamic lock-order probe: with
+// MACHLOCK_LOCKGRAPH set, the whole binary runs traced and dumps the
+// observed kern-class graph for machvet -diff.
+func TestMain(m *testing.M) {
+	os.Exit(trace.LockGraphTestMain("kern", m.Run))
+}

@@ -1,0 +1,119 @@
+package lockgraph
+
+import (
+	"fmt"
+	"io"
+)
+
+// DiffResult is the static×dynamic cross-check: every edge classified by
+// which observer(s) proved it.
+type DiffResult struct {
+	// DynamicOnly edges were observed at runtime but are invisible to the
+	// analysis — each one is a machvet soundness hole. The gate requires
+	// zero.
+	DynamicOnly []Edge
+	// StaticOnly edges are proven by the analysis (over runtime-observable
+	// classes, excluding try-only proofs) but never exercised by any run —
+	// discipline-coverage gaps, reported with the proving sites.
+	StaticOnly []Edge
+	// Matched edges appear in both graphs; the Edge carries the static
+	// sites and the dynamic count.
+	Matched []Edge
+
+	// StaticUnobservable counts static edges excluded from the comparison
+	// because an endpoint has no runtime trace class; TryOnlyUnmatched
+	// counts try-only static edges no run happened to exercise (matchable,
+	// not coverage debt — a try acquisition is the discipline's sanctioned
+	// out-of-order path, so tests are not required to land it).
+	StaticUnobservable int
+	TryOnlyUnmatched   int
+}
+
+// CoveragePct is the discipline coverage: the share of comparable static
+// edges (both endpoints observable, not try-only-unmatched) that some run
+// exercised. 100 when there is nothing to cover.
+func (d *DiffResult) CoveragePct() float64 {
+	total := len(d.Matched) + len(d.StaticOnly)
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(len(d.Matched)) / float64(total)
+}
+
+// Sound reports whether the dynamic graph is fully explained by the
+// static one.
+func (d *DiffResult) Sound() bool { return len(d.DynamicOnly) == 0 }
+
+// Diff cross-checks a static graph against a dynamic one (merge multiple
+// dynamic dumps first; see Merge). Both graphs must be valid.
+func Diff(static, dynamic *Graph) (*DiffResult, error) {
+	if static.Source != SourceStatic {
+		return nil, fmt.Errorf("lockgraph: diff: first graph has source %q, want %q", static.Source, SourceStatic)
+	}
+	if dynamic.Source != SourceDynamic {
+		return nil, fmt.Errorf("lockgraph: diff: second graph has source %q, want %q", dynamic.Source, SourceDynamic)
+	}
+	observable := func(g *Graph, class string) bool {
+		n := g.Node(class)
+		return n != nil && n.Observable
+	}
+	dyn := make(map[string]Edge, len(dynamic.Edges))
+	for _, e := range dynamic.Edges {
+		dyn[e.key()] = e
+	}
+	res := &DiffResult{}
+	for _, e := range static.Edges {
+		if !observable(static, e.From) || !observable(static, e.To) {
+			res.StaticUnobservable++
+			continue
+		}
+		if de, ok := dyn[e.key()]; ok {
+			m := e
+			m.Count = de.Count
+			res.Matched = append(res.Matched, m)
+			delete(dyn, e.key())
+			continue
+		}
+		if e.TryOnly {
+			res.TryOnlyUnmatched++
+			continue
+		}
+		res.StaticOnly = append(res.StaticOnly, e)
+	}
+	for _, e := range dynamic.Edges {
+		if _, stillUnmatched := dyn[e.key()]; stillUnmatched {
+			res.DynamicOnly = append(res.DynamicOnly, e)
+		}
+	}
+	return res, nil
+}
+
+// Report writes the human-readable cross-check report. Every dynamic-only
+// edge is a finding; static-only edges list their proving sites (capped).
+func (d *DiffResult) Report(w io.Writer) {
+	fmt.Fprintf(w, "lockgraph cross-check: %d matched, %d static-only, %d dynamic-only\n",
+		len(d.Matched), len(d.StaticOnly), len(d.DynamicOnly))
+	fmt.Fprintf(w, "  (excluded: %d static edges with unobservable endpoints, %d unexercised try-only edges)\n",
+		d.StaticUnobservable, d.TryOnlyUnmatched)
+	for _, e := range d.DynamicOnly {
+		fmt.Fprintf(w, "SOUNDNESS HOLE: runtime observed %s -> %s (count %d) but machvet proves no such edge\n",
+			e.From, e.To, e.Count)
+	}
+	for _, e := range d.StaticOnly {
+		fmt.Fprintf(w, "coverage gap: %s -> %s proven but never exercised", e.From, e.To)
+		for i, s := range e.Sites {
+			if i == 3 {
+				fmt.Fprintf(w, " (+%d more)", len(e.Sites)-i)
+				break
+			}
+			if i == 0 {
+				fmt.Fprintf(w, " at ")
+			} else {
+				fmt.Fprintf(w, ", ")
+			}
+			fmt.Fprintf(w, "%s", s)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "coverage: %.1f%% of comparable static edges exercised\n", d.CoveragePct())
+}

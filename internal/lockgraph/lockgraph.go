@@ -1,0 +1,286 @@
+// Package lockgraph defines the machlock-lockgraph/v1 schema: a
+// whole-program graph of lock classes (nodes) and ordered acquisition
+// edges (held -> acquired), produced by two independent observers of the
+// same locking discipline —
+//
+//   - STATIC: `machvet -graph` walks the lockstate summaries
+//     interprocedurally over the module and emits every edge the analysis
+//     can prove reachable, with the code sites proving it;
+//   - DYNAMIC: the internal/trace collector records every class-level
+//     held->acquired pair an actual execution performs (machd -smoke,
+//     `make sim`, or any run with trace.EnableLockGraph on).
+//
+// The two views meet in Diff: a dynamic-only edge is an analysis
+// soundness hole (the runtime did something the checker cannot see); a
+// static-only edge is a discipline-coverage gap (the checker proves an
+// order no test ever exercises). Coverage is the fraction of runtime-
+// observable static edges that some run has actually exercised, and is
+// gated in CI against a committed baseline.
+//
+// Node names are canonical class names — the trace registry's names
+// ("vm.map", "kern.pset.members") — so both emitters translate into one
+// vocabulary; see classmap.go.
+package lockgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Schema is the format identifier carried in every graph file.
+const Schema = "machlock-lockgraph/v1"
+
+// Graph source kinds.
+const (
+	SourceStatic  = "static"
+	SourceDynamic = "dynamic"
+)
+
+// Graph is one emitted lock graph.
+type Graph struct {
+	Schema string `json:"schema"`
+	// Source is "static" or "dynamic".
+	Source string `json:"source"`
+	// Generator names the emitting tool ("machvet -graph", "machd -smoke").
+	Generator string `json:"generator"`
+
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+
+	// UnmappedClasses lists class names seen by the emitter that have no
+	// canonical mapping (test-harness locks, tool-local classes). Their
+	// edges are excluded from the graph; the list is kept so a kernel
+	// class accidentally missing from the class map is visible instead of
+	// silently dropped.
+	UnmappedClasses []string `json:"unmapped_classes,omitempty"`
+}
+
+// Node is one lock class.
+type Node struct {
+	// Class is the canonical class name ("vm.map", "ipc.port").
+	Class string `json:"class"`
+	// Kind is the mechanism kind: "spin", "complex", "ref", "object", or
+	// "unknown" when the emitter cannot tell.
+	Kind string `json:"kind,omitempty"`
+	// Observable marks classes registered with the runtime trace layer —
+	// the classes the dynamic collector can ever see. Static-only classes
+	// (locals aside, e.g. a lock type with no trace class) are emitted
+	// with Observable=false and excluded from coverage accounting.
+	Observable bool `json:"observable"`
+}
+
+// Edge is one ordered acquisition: a thread holding From acquired To.
+type Edge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Count is how many times the dynamic collector observed the edge
+	// (0 for static edges).
+	Count int64 `json:"count,omitempty"`
+	// Sites are the code sites proving the edge (static: the acquiring
+	// call positions, capped; dynamic graphs leave it empty).
+	Sites []string `json:"sites,omitempty"`
+	// MayBlock marks edges whose acquisition can sleep (complex-lock
+	// acquisitions).
+	MayBlock bool `json:"may_block,omitempty"`
+	// TryOnly marks edges proven only through try/backout acquisitions
+	// (the paper's out-of-order escape hatch); the dynamic side cannot
+	// distinguish these, so the differ treats try-only static edges as
+	// matchable but never as coverage debt.
+	TryOnly bool `json:"try_only,omitempty"`
+	// Upgrade marks edges proven only through read-to-write upgrades.
+	Upgrade bool `json:"upgrade,omitempty"`
+}
+
+// key identifies an edge by endpoints.
+func (e Edge) key() string { return e.From + "\x00" + e.To }
+
+// Validate checks the graph is well-formed: schema, source, node/edge
+// consistency (every edge endpoint is a declared node, no duplicate nodes
+// or edges).
+func (g *Graph) Validate() error {
+	if g == nil {
+		return fmt.Errorf("lockgraph: nil graph")
+	}
+	if g.Schema != Schema {
+		return fmt.Errorf("lockgraph: schema %q, want %q", g.Schema, Schema)
+	}
+	if g.Source != SourceStatic && g.Source != SourceDynamic {
+		return fmt.Errorf("lockgraph: source %q, want %q or %q", g.Source, SourceStatic, SourceDynamic)
+	}
+	nodes := make(map[string]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Class == "" {
+			return fmt.Errorf("lockgraph: node with empty class")
+		}
+		if nodes[n.Class] {
+			return fmt.Errorf("lockgraph: duplicate node %q", n.Class)
+		}
+		nodes[n.Class] = true
+	}
+	seen := make(map[string]bool, len(g.Edges))
+	for _, e := range g.Edges {
+		if e.From == "" || e.To == "" {
+			return fmt.Errorf("lockgraph: edge with empty endpoint (%q -> %q)", e.From, e.To)
+		}
+		if !nodes[e.From] {
+			return fmt.Errorf("lockgraph: edge %s -> %s references undeclared node %q", e.From, e.To, e.From)
+		}
+		if !nodes[e.To] {
+			return fmt.Errorf("lockgraph: edge %s -> %s references undeclared node %q", e.From, e.To, e.To)
+		}
+		if seen[e.key()] {
+			return fmt.Errorf("lockgraph: duplicate edge %s -> %s", e.From, e.To)
+		}
+		seen[e.key()] = true
+	}
+	return nil
+}
+
+// Normalize sorts nodes and edges into the canonical stable order
+// (lexicographic) so emitted files diff cleanly run to run.
+func (g *Graph) Normalize() {
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i].Class < g.Nodes[j].Class })
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].From != g.Edges[j].From {
+			return g.Edges[i].From < g.Edges[j].From
+		}
+		return g.Edges[i].To < g.Edges[j].To
+	})
+	for i := range g.Edges {
+		sort.Strings(g.Edges[i].Sites)
+	}
+	sort.Strings(g.UnmappedClasses)
+}
+
+// Node returns the node for class, or nil.
+func (g *Graph) Node(class string) *Node {
+	for i := range g.Nodes {
+		if g.Nodes[i].Class == class {
+			return &g.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Merge folds other's nodes and edges into g (union; edge counts add,
+// sites union, flags OR except TryOnly/Upgrade which AND — an edge proven
+// by a non-try site is not try-only). Used to combine the dynamic dumps of
+// several runs (sim suites + machd smoke) into one view.
+func (g *Graph) Merge(other *Graph) {
+	byClass := map[string]int{}
+	for i, n := range g.Nodes {
+		byClass[n.Class] = i
+	}
+	for _, n := range other.Nodes {
+		if i, ok := byClass[n.Class]; ok {
+			g.Nodes[i].Observable = g.Nodes[i].Observable || n.Observable
+			if g.Nodes[i].Kind == "" || g.Nodes[i].Kind == "unknown" {
+				g.Nodes[i].Kind = n.Kind
+			}
+			continue
+		}
+		byClass[n.Class] = len(g.Nodes)
+		g.Nodes = append(g.Nodes, n)
+	}
+	byEdge := map[string]int{}
+	for i, e := range g.Edges {
+		byEdge[e.key()] = i
+	}
+	for _, e := range other.Edges {
+		if i, ok := byEdge[e.key()]; ok {
+			dst := &g.Edges[i]
+			dst.Count += e.Count
+			dst.Sites = unionSites(dst.Sites, e.Sites)
+			dst.MayBlock = dst.MayBlock || e.MayBlock
+			dst.TryOnly = dst.TryOnly && e.TryOnly
+			dst.Upgrade = dst.Upgrade && e.Upgrade
+			continue
+		}
+		byEdge[e.key()] = len(g.Edges)
+		g.Edges = append(g.Edges, e)
+	}
+	unseen := map[string]bool{}
+	for _, c := range g.UnmappedClasses {
+		unseen[c] = true
+	}
+	for _, c := range other.UnmappedClasses {
+		if !unseen[c] {
+			unseen[c] = true
+			g.UnmappedClasses = append(g.UnmappedClasses, c)
+		}
+	}
+}
+
+func unionSites(a, b []string) []string {
+	seen := map[string]bool{}
+	for _, s := range a {
+		seen[s] = true
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			a = append(a, s)
+		}
+	}
+	return a
+}
+
+// Write renders the graph as indented JSON, normalized.
+func Write(w io.Writer, g *Graph) error {
+	g.Normalize()
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lockgraph: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the graph to path ("-" for stdout), validating first.
+func WriteFile(path string, g *Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if path == "-" {
+		return Write(os.Stdout, g)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("lockgraph: %w", err)
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses and validates a graph.
+func Read(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("lockgraph: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// ReadFile parses and validates the graph at path.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}

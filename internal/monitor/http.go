@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"machlock/internal/lockgraph"
 	"machlock/internal/trace"
 )
 
@@ -44,6 +45,7 @@ func (m *Monitor) Handler() http.Handler {
 	mux.HandleFunc("/debug/machlock/ring", m.serveRing)
 	mux.HandleFunc("/debug/machlock/pprof/", m.servePprof)
 	mux.HandleFunc("/debug/machlock/timeline", m.serveTimeline)
+	mux.HandleFunc("/debug/machlock/lockgraph", m.serveLockGraph)
 	return mux
 }
 
@@ -65,6 +67,7 @@ func (m *Monitor) serveIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /debug/machlock/pprof/holds  holder-stack hold profile (go tool pprof)")
 	fmt.Fprintln(w, "  /debug/machlock/pprof/blame  holder-stack blamed-wait profile (go tool pprof)")
 	fmt.Fprintln(w, "  /debug/machlock/timeline     Chrome trace-event JSON (Perfetto)")
+	fmt.Fprintln(w, "  /debug/machlock/lockgraph    observed class-order graph (machlock-lockgraph/v1 JSON)")
 }
 
 func (m *Monitor) serveProfiles(w http.ResponseWriter, r *http.Request) {
@@ -169,6 +172,18 @@ func (m *Monitor) serveTimeline(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	trace.WriteTimeline(w, trace.Events(n))
+}
+
+// serveLockGraph serves the runtime lock-order collector's snapshot in the
+// machlock-lockgraph/v1 schema — the dynamic half of machvet -diff. An
+// empty graph (collector never enabled, or nothing ran) is still valid
+// output; the differ treats it as zero coverage, not an error.
+func (m *Monitor) serveLockGraph(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	g := trace.LockGraphSnapshot("monitor /debug/machlock/lockgraph")
+	if err := lockgraph.Write(w, g); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (m *Monitor) serveWaitGraph(w http.ResponseWriter, r *http.Request) {

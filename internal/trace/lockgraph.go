@@ -1,0 +1,211 @@
+package trace
+
+// The dynamic lock-graph collector: when enabled, every classed lock
+// acquisition records class-level held->acquired edges for the acquiring
+// goroutine, building the runtime half of the machlock-lockgraph/v1
+// cross-check (the static half is `machvet -graph`; the differ is
+// `machvet -diff`). Same inlinable-gate pattern as the rest of the trace
+// layer: one atomic load on the already-instrumented path when the
+// collector is off, so it costs nothing unless a run opts in
+// (machd -smoke -lockgraph, `make sim`, or /debug/machlock/lockgraph).
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"machlock/internal/lockgraph"
+)
+
+// graphEnabled gates the collector separately from the profile layer:
+// edge recording needs per-goroutine state (a held-class stack keyed by
+// goroutine id), which is an order of magnitude costlier than the counter
+// bumps, so it is opt-in per run. Tracing itself must also be enabled —
+// the hooks live behind Class.On().
+var graphEnabled atomic.Bool
+
+// EnableLockGraph turns the collector on. Call after Enable(); edges are
+// only observed while both gates are up.
+func EnableLockGraph() { graphEnabled.Store(true) }
+
+// DisableLockGraph turns the collector off; accumulated edges remain
+// until ResetLockGraph.
+func DisableLockGraph() { graphEnabled.Store(false) }
+
+// LockGraphOn reports whether the collector is recording.
+func LockGraphOn() bool { return graphEnabled.Load() }
+
+// graphShards spreads the per-goroutine held stacks over independently
+// locked shards (keyed by goroutine id) so concurrent acquirers do not
+// serialize on one mutex.
+const graphShards = 64
+
+type graphShard struct {
+	mu   sync.Mutex
+	held map[uint64][]uint32 // goroutine id -> stack of held class ids
+	_    [4]uint64           // keep neighbouring shard locks off one line
+}
+
+var graphState struct {
+	shards [graphShards]graphShard
+	// edges: (from class id << 32 | to class id) -> count. Inserts are
+	// rare (the edge set saturates quickly); counting is lock-free.
+	edges sync.Map // uint64 -> *atomic.Int64
+}
+
+// goid parses the current goroutine's id from the runtime.Stack header
+// ("goroutine 123 [running]:"). ~1µs — only paid while the collector is
+// enabled, on paths that are already doing histogram and ring work.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine ".
+	var id uint64
+	for i := 10; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// lockGraphAcquire records edges held->c for every distinct class the
+// goroutine already holds, then pushes c. Same-class nesting (two ports
+// locked in order) is not an edge: ordering within a class is the address
+// / LockPair discipline's problem, not the graph's — mirroring machvet's
+// lockorder convention so the two views stay comparable.
+func lockGraphAcquire(c *Class) {
+	g := goid()
+	sh := &graphState.shards[g%graphShards]
+	sh.mu.Lock()
+	held := sh.held[g]
+	for _, from := range held {
+		if from == c.id {
+			continue
+		}
+		bumpEdge(from, c.id)
+	}
+	if sh.held == nil {
+		sh.held = make(map[uint64][]uint32)
+	}
+	sh.held[g] = append(held, c.id)
+	sh.mu.Unlock()
+}
+
+// lockGraphRelease pops the most recent hold of c on this goroutine.
+// Out-of-order releases are legal (a complex lock released while a
+// later-acquired simple lock is still held), hence last-match rather than
+// strict top-of-stack. A release with no matching hold (collector enabled
+// mid-critical-section) is dropped.
+func lockGraphRelease(c *Class) {
+	g := goid()
+	sh := &graphState.shards[g%graphShards]
+	sh.mu.Lock()
+	held := sh.held[g]
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == c.id {
+			held = append(held[:i], held[i+1:]...)
+			if len(held) == 0 {
+				delete(sh.held, g)
+			} else {
+				sh.held[g] = held
+			}
+			break
+		}
+	}
+	sh.mu.Unlock()
+}
+
+func bumpEdge(from, to uint32) {
+	key := uint64(from)<<32 | uint64(to)
+	if n, ok := graphState.edges.Load(key); ok {
+		n.(*atomic.Int64).Add(1)
+		return
+	}
+	n := new(atomic.Int64)
+	n.Add(1)
+	actual, _ := graphState.edges.LoadOrStore(key, n)
+	if actual != n {
+		actual.(*atomic.Int64).Add(1)
+	}
+}
+
+// ResetLockGraph discards all accumulated edges and held-stack state.
+// Call between runs that must not see each other's edges (tests).
+func ResetLockGraph() {
+	for i := range graphState.shards {
+		sh := &graphState.shards[i]
+		sh.mu.Lock()
+		sh.held = nil
+		sh.mu.Unlock()
+	}
+	graphState.edges.Range(func(k, _ any) bool {
+		graphState.edges.Delete(k)
+		return true
+	})
+}
+
+// LockGraphSnapshot renders the accumulated edges as a validated
+// machlock-lockgraph/v1 dynamic graph. Class names are canonicalized
+// (per-zone "zone.*" classes collapse to "zalloc.zone"); classes with no
+// canonical mapping (test-harness locks) are dropped from the edge set
+// and listed in UnmappedClasses. generator names the producing run.
+func LockGraphSnapshot(generator string) *lockgraph.Graph {
+	g := &lockgraph.Graph{
+		Schema:    lockgraph.Schema,
+		Source:    lockgraph.SourceDynamic,
+		Generator: generator,
+	}
+	// Nodes: every registered class with a canonical name, whether or not
+	// an edge touches it — the node set is the dynamic side's universe.
+	nodes := map[string]bool{}
+	unmapped := map[string]bool{}
+	canon := map[uint32]string{} // class id -> canonical name ("" = drop)
+	for _, c := range Classes() {
+		if c.kind == KindOp {
+			continue // operation spans are not locks
+		}
+		name, ok := lockgraph.CanonicalDynamic(c.name)
+		if !ok {
+			canon[c.id] = ""
+			if !unmapped[c.name] {
+				unmapped[c.name] = true
+				g.UnmappedClasses = append(g.UnmappedClasses, c.name)
+			}
+			continue
+		}
+		canon[c.id] = name
+		if name != "" && !nodes[name] {
+			nodes[name] = true
+			g.Nodes = append(g.Nodes, lockgraph.Node{
+				Class:      name,
+				Kind:       lockgraph.KindOf(name),
+				Observable: true,
+			})
+		}
+	}
+	merged := map[string]*lockgraph.Edge{}
+	graphState.edges.Range(func(k, v any) bool {
+		key := k.(uint64)
+		from, to := canon[uint32(key>>32)], canon[uint32(key&0xffffffff)]
+		if from == "" || to == "" || from == to {
+			// Unmapped or infrastructure endpoint, or two raw classes that
+			// canonicalize together (zone.a -> zone.b): not an edge.
+			return true
+		}
+		ek := from + "\x00" + to
+		if e, ok := merged[ek]; ok {
+			e.Count += v.(*atomic.Int64).Load()
+			return true
+		}
+		merged[ek] = &lockgraph.Edge{From: from, To: to, Count: v.(*atomic.Int64).Load()}
+		return true
+	})
+	for _, e := range merged {
+		g.Edges = append(g.Edges, *e)
+	}
+	g.Normalize()
+	return g
+}

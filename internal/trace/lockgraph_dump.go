@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+
+	"machlock/internal/lockgraph"
+)
+
+// LockGraphTestMain is a TestMain body for packages in the `make sim`
+// matrix. When MACHLOCK_LOCKGRAPH is set it is treated as a path prefix:
+// tracing and the edge collector are enabled around the whole test binary,
+// and the observed graph is written to <prefix>-<pkg>.json afterwards —
+// the dynamic half of `machvet -diff`, gathered from the deterministic
+// schedule-exploration runs rather than live sockets. With the variable
+// unset this is exactly m.Run: zero collector overhead, tests untouched.
+func LockGraphTestMain(pkg string, run func() int) int {
+	prefix := os.Getenv("MACHLOCK_LOCKGRAPH")
+	if prefix == "" {
+		return run()
+	}
+	if !Enabled() {
+		Enable()
+	}
+	EnableLockGraph()
+	code := run()
+	DisableLockGraph()
+	g := LockGraphSnapshot("go test " + pkg + " (MACHLOCK_LOCKGRAPH)")
+	path := prefix + "-" + pkg + ".json"
+	if err := lockgraph.WriteFile(path, g); err != nil {
+		fmt.Fprintf(os.Stderr, "machlock: lockgraph dump: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}

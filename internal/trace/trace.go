@@ -221,6 +221,9 @@ func (c *Class) AcquiredBy(tid uint32, contended bool, waitNs int64) {
 		c.contended.Inc()
 		c.wait.Observe(waitNs)
 	}
+	if graphEnabled.Load() {
+		lockGraphAcquire(c)
+	}
 	emit(c.id, OpAcquire, waitNs, tid)
 }
 
@@ -236,6 +239,9 @@ func (c *Class) ReleasedBy(tid uint32, holdNs int64) {
 	c.releases.Inc()
 	if holdNs >= 0 {
 		c.hold.Observe(holdNs)
+	}
+	if graphEnabled.Load() {
+		lockGraphRelease(c)
 	}
 	emit(c.id, OpRelease, holdNs, tid)
 }
