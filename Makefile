@@ -39,13 +39,15 @@ sim:
 	MACHLOCK_LOCKGRAPH=$(CURDIR)/lockgraph-dynamic $(GO) test -run 'TestSim' \
 		-coverprofile=sim-coverage.out \
 		-coverpkg=./internal/... \
-		./internal/machsim/ ./internal/core/... ./internal/kern/ ./internal/sched/
+		./internal/machsim/ ./internal/machsim/scenarios/ ./internal/core/... \
+		./internal/kern/ ./internal/sched/ ./internal/pmap/ ./internal/ipc/
 
 # Seed-corpus pass over the machsim fuzz targets (cxlock option combos,
-# refcount clone/release sequences). For a real fuzzing session:
+# refcount clone/release sequences, engine-found replay schedules). For a
+# real fuzzing session:
 #   go test ./internal/core/cxlock/ -run '^$$' -fuzz FuzzSimCxlockOptions
 fuzz-smoke:
-	$(GO) test -run 'FuzzSim' ./internal/core/cxlock/ ./internal/core/refcount/
+	$(GO) test -run 'FuzzSim' ./internal/core/cxlock/ ./internal/core/refcount/ ./internal/machsim/
 
 # Experiment benchmarks (E1-E13) plus the uncontended fast-path pairs
 # that pin the observability layer's disabled-tracing overhead.

@@ -1,0 +1,105 @@
+// Command simfrontier runs the registered multi-subsystem machsim
+// scenarios through the parallel bounded exploration engine, with frontier
+// checkpointing so a budgeted run (the nightly CI mode) resumes where the
+// previous one stopped.
+//
+// Usage:
+//
+//	simfrontier -list
+//	simfrontier -scenario pageable [-workers N] [-budget RUNS] [-checkpoint FILE]
+//	simfrontier -inspect FILE
+//
+// With -checkpoint, an existing file is resumed (its pinned search
+// parameters must match the scenario's registration) and the final
+// frontier is written back. Exit status: 0 for a clean (possibly
+// unfinished) run, 1 for a violation, 2 for usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"machlock/internal/machsim"
+	"machlock/internal/machsim/scenarios"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered scenarios and exit")
+	name := flag.String("scenario", "", "registered scenario to explore (see -list)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	budget := flag.Int("budget", 0, "max schedules to run in this invocation (0 = to exhaustion)")
+	checkpoint := flag.String("checkpoint", "", "frontier checkpoint file to resume from and write back")
+	preemptions := flag.Int("preemptions", -1, "override the scenario's registered preemption bound")
+	inspect := flag.String("inspect", "", "print a frontier checkpoint's summary and exit")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, n := range scenarios.All() {
+			verdict := "must exhaust clean"
+			if len(n.WantCheckers) > 0 {
+				verdict = fmt.Sprintf("planted bug, must find %v", n.WantCheckers)
+			}
+			fmt.Printf("%-22s preemptions=%d reduction=%s  %s\n",
+				n.Name, n.Preemptions, n.Reduction, verdict)
+		}
+		return
+	case *inspect != "":
+		fr, err := machsim.ReadFrontierFile(*inspect)
+		if err != nil {
+			fatalf("simfrontier: %v", err)
+		}
+		fmt.Printf("%s: scenario %s, preemptions=%d reduction=%s\n",
+			fr.Schema, fr.Scenario, fr.Preemptions, fr.Reduction)
+		fmt.Printf("wave %d: %d runs, %d steps, %d inconclusive, %d pruned\n",
+			fr.Wave, fr.Runs, fr.Steps, fr.Inconclusive, fr.Pruned)
+		if fr.Done {
+			fmt.Println("done: space exhausted")
+		} else {
+			fmt.Printf("%d branches left to explore\n", len(fr.Branches))
+		}
+		return
+	case *name == "":
+		fatalf("simfrontier: -scenario is required (try -list)")
+	}
+
+	n, ok := scenarios.Lookup(*name)
+	if !ok {
+		fatalf("simfrontier: unknown scenario %q (try -list)", *name)
+	}
+	cfg := machsim.DFSConfig{Preemptions: n.Preemptions, Reduction: n.Reduction}
+	if *preemptions >= 0 {
+		cfg.Preemptions = *preemptions
+	}
+	par := machsim.ParallelConfig{Workers: *workers, RunBudget: *budget, Scenario: n.Name}
+	if *checkpoint != "" {
+		if _, err := os.Stat(*checkpoint); err == nil {
+			fr, err := machsim.ReadFrontierFile(*checkpoint)
+			if err != nil {
+				fatalf("simfrontier: %v", err)
+			}
+			par.Resume = fr
+		}
+	}
+
+	res, fr := machsim.ExploreParallel(n.Scenario, cfg, par, machsim.Options{})
+	if *checkpoint != "" {
+		if err := machsim.WriteFrontierFile(*checkpoint, fr); err != nil {
+			fatalf("simfrontier: %v", err)
+		}
+	}
+	if res.Failed() {
+		fmt.Print(res.Report())
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %s\n", n.Name, res.Summary())
+	if !fr.Done {
+		fmt.Printf("budget reached: %d branches left (resume with -checkpoint)\n", len(fr.Branches))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -2,6 +2,7 @@ package cxlock
 
 import (
 	"machlock/internal/core/splock"
+	"machlock/internal/machsim/simhook"
 	"machlock/internal/sched"
 )
 
@@ -53,7 +54,14 @@ func (l *ClassLock) Acquire(c Class, t *sched.Thread) {
 			sched.ThreadBlock(t)
 		} else {
 			l.interlock.Unlock()
-			spinYield()
+			if simhook.Enabled() {
+				// Under the simulator a raw busy-wait would spin the host
+				// forever; yield the schedule point instead, like the other
+				// spinners in the package.
+				simhook.Yield(simhook.CxSpin, l)
+			} else {
+				spinYield()
+			}
 		}
 		l.interlock.Lock()
 		l.waiting[c]--

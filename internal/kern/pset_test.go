@@ -170,6 +170,9 @@ func TestDestroyRacesAssignProcessorNoStranding(t *testing.T) {
 	}
 }
 
+// TestConcurrentReassignmentStress is the raw -race smoke layer; the
+// deterministic schedule-exploration twin is TestSimConcurrentReassignment
+// in sim_test.go.
 func TestConcurrentReassignmentStress(t *testing.T) {
 	m := hw.New(4)
 	h := NewHost(m)
@@ -179,7 +182,7 @@ func TestConcurrentReassignmentStress(t *testing.T) {
 		wg.Add(1)
 		go func(seed int) {
 			defer wg.Done()
-			for i := 0; i < 200; i++ {
+			for i := 0; i < 60; i++ {
 				p := h.Processor((seed + i) % 4)
 				s := sets[(seed*7+i)%3]
 				if err := h.AssignProcessor(p, s); err != nil {

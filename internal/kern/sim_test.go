@@ -146,3 +146,54 @@ func TestSimStrandingFoundInPreFixProtocol(t *testing.T) {
 		t.Fatalf("stranding schedule %q did not replay: %+v", res.Schedule, rep.Violations)
 	}
 }
+
+// TestSimConcurrentReassignment is the machsim twin of
+// TestConcurrentReassignmentStress (which stays as a shortened raw -race
+// smoke test): two assigners shuttle the same processors between three sets
+// over explored schedules, and every schedule must leave each processor in
+// exactly one set with memberships coherent — no schedule may strand a
+// processor between a detach and an attach.
+func TestSimConcurrentReassignment(t *testing.T) {
+	scenario := func(s *machsim.Sim) {
+		m := hw.New(2)
+		h := NewHost(m)
+		sets := []*ProcessorSet{h.DefaultSet(), h.NewSet("a"), h.NewSet("b")}
+		p0, p1 := h.Processor(0), h.Processor(1)
+		s.Spawn("assigner0", func(_ *sched.Thread) {
+			if err := h.AssignProcessor(p0, sets[1]); err != nil {
+				s.Fail("assign p0->a: %v", err)
+			}
+			if err := h.AssignProcessor(p1, sets[2]); err != nil {
+				s.Fail("assign p1->b: %v", err)
+			}
+		})
+		s.Spawn("assigner1", func(_ *sched.Thread) {
+			if err := h.AssignProcessor(p0, sets[2]); err != nil {
+				s.Fail("assign p0->b: %v", err)
+			}
+			if err := h.AssignProcessor(p0, sets[0]); err != nil {
+				s.Fail("assign p0->default: %v", err)
+			}
+		})
+		s.AtEnd(func(fail func(string, ...any)) {
+			total := 0
+			for _, set := range sets {
+				for _, p := range set.Processors(nil) {
+					if p.AssignedSet() != set {
+						fail("processor %s membership mismatch", p.Name())
+					}
+					total++
+				}
+			}
+			if total != 2 {
+				fail("processors across sets = %d, want 2", total)
+			}
+		})
+	}
+	machsim.Check(t, machsim.Random(scenario, 150, 31, machsim.Options{}))
+	machsim.Check(t, machsim.Explore(scenario, machsim.DFSConfig{
+		Preemptions: 1,
+		Reduction:   machsim.ReduceSleep,
+		MaxRuns:     100000,
+	}, machsim.Options{}))
+}

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 )
@@ -192,7 +193,7 @@ func (g *Graph) Merge(other *Graph) {
 	for _, e := range other.Edges {
 		if i, ok := byEdge[e.key()]; ok {
 			dst := &g.Edges[i]
-			dst.Count += e.Count
+			dst.Count = saturatingAdd(dst.Count, e.Count)
 			dst.Sites = unionSites(dst.Sites, e.Sites)
 			dst.MayBlock = dst.MayBlock || e.MayBlock
 			dst.TryOnly = dst.TryOnly && e.TryOnly
@@ -212,6 +213,21 @@ func (g *Graph) Merge(other *Graph) {
 			g.UnmappedClasses = append(g.UnmappedClasses, c)
 		}
 	}
+}
+
+// saturatingAdd sums two observation counts, clamping at the int64 limits
+// instead of wrapping: merging many long-run dynamic dumps must never turn
+// a hot edge's count negative (a wrapped count would read as "barely
+// exercised" in coverage accounting, the worst possible failure mode).
+func saturatingAdd(a, b int64) int64 {
+	sum := a + b
+	switch {
+	case b > 0 && sum < a:
+		return math.MaxInt64
+	case b < 0 && sum > a:
+		return math.MinInt64
+	}
+	return sum
 }
 
 func unionSites(a, b []string) []string {

@@ -1,0 +1,111 @@
+package machsim
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"machlock/internal/machsim/simhook"
+)
+
+// The simhook seam is deliberately a single process-wide slot — the
+// substrate's disabled fast path is one atomic load — so concurrent Sims
+// cannot each install themselves. Parallel exploration instead installs
+// ONE dispatcher that routes every hook call to the Sim owning the calling
+// goroutine: each worker goroutine and each virtual-thread runner registers
+// itself against its Sim for the duration of a run. Goroutines nobody
+// registered (host test goroutines that happen to touch instrumented code
+// while a parallel exploration is running) get the no-harness behaviour:
+// yields and notes are dropped, Block/ForceFail report false so callers
+// take their host paths, and the clock falls back to the host clock.
+
+// goid returns the current goroutine's id, parsed from the runtime.Stack
+// header ("goroutine 123 [running]:"). The header format is stable in
+// practice (pprof labels and every crash dump depend on it); a parse
+// failure returns 0, which no real goroutine has, so unknown callers
+// degrade to the unregistered path rather than misrouting.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	b := bytes.TrimPrefix(buf[:n], []byte("goroutine "))
+	i := bytes.IndexByte(b, ' ')
+	if i <= 0 {
+		return 0
+	}
+	id, err := strconv.ParseUint(string(b[:i]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// dispatcher multiplexes the single simhook slot across concurrent Sims.
+type dispatcher struct {
+	sims sync.Map // goroutine id (uint64) -> *Sim
+}
+
+// register binds the calling goroutine to s. Runner goroutines register
+// before their first resume-receive, so every hook call a thread body makes
+// is ordered after its registration.
+func (d *dispatcher) register(s *Sim) { d.sims.Store(goid(), s) }
+
+// unregister unbinds the calling goroutine.
+func (d *dispatcher) unregister() { d.sims.Delete(goid()) }
+
+func (d *dispatcher) cur() *Sim {
+	if v, ok := d.sims.Load(goid()); ok {
+		return v.(*Sim)
+	}
+	return nil
+}
+
+// ---- simhook.Hooks, routed per goroutine ----
+
+func (d *dispatcher) Yield(p simhook.Point, obj any) {
+	if s := d.cur(); s != nil {
+		s.Yield(p, obj)
+	}
+}
+
+func (d *dispatcher) Note(p simhook.Point, obj any, n int64) {
+	if s := d.cur(); s != nil {
+		s.Note(p, obj, n)
+	}
+}
+
+func (d *dispatcher) ForceFail(p simhook.Point, obj any) bool {
+	if s := d.cur(); s != nil {
+		return s.ForceFail(p, obj)
+	}
+	return false
+}
+
+func (d *dispatcher) Block(t any) bool {
+	if s := d.cur(); s != nil {
+		return s.Block(t)
+	}
+	return false
+}
+
+func (d *dispatcher) Unblock(t any) bool {
+	if s := d.cur(); s != nil {
+		return s.Unblock(t)
+	}
+	return false
+}
+
+func (d *dispatcher) NowNs() int64 {
+	if s := d.cur(); s != nil {
+		return s.NowNs()
+	}
+	return time.Now().UnixNano()
+}
+
+func (d *dispatcher) Index(t any) (int, bool) {
+	if s := d.cur(); s != nil {
+		return s.Index(t)
+	}
+	return 0, false
+}

@@ -87,6 +87,7 @@ type vthread struct {
 	resume chan struct{}
 	state  int
 	point  simhook.Point // last yield point, for deadlock reports
+	pobj   any           // the yield's object: the pending step's footprint (POR)
 }
 
 // initActor attributes setup/at-end protocol events to a pseudo-thread.
@@ -119,10 +120,15 @@ type Sim struct {
 	violations   []Violation
 	aborted      bool
 	inconclusive bool
+	pruned       bool // run abandoned by the POR layer: covered elsewhere
 	inject       bool // harness-internal sched call in progress: no re-entry
 
 	mdl   *models
 	atEnd []func(fail func(format string, args ...any))
+
+	// disp routes this Sim's hooks through a shared dispatcher instead of
+	// owning the global simhook slot (parallel exploration; dispatch.go).
+	disp *dispatcher
 }
 
 func newSim(scenario Scenario, dec decider, opt Options) *Sim {
@@ -191,14 +197,20 @@ func (s *Sim) Logf(format string, args ...any) {
 }
 
 // runOnce executes the scenario once under s.dec. On return the harness is
-// uninstalled and every spawned goroutine has exited.
+// uninstalled (or, in dispatcher mode, this goroutine unregistered) and
+// every spawned goroutine has exited.
 func (s *Sim) runOnce() {
-	simhook.Install(s)
+	if s.disp == nil {
+		simhook.Install(s)
+		defer simhook.Uninstall()
+	} else {
+		s.disp.register(s)
+		defer s.disp.unregister()
+	}
 	s.setup = true
 	s.scenario(s)
 	s.setup = false
 	if len(s.vts) == 0 {
-		simhook.Uninstall()
 		return
 	}
 	for _, vt := range s.vts {
@@ -218,10 +230,15 @@ func (s *Sim) runOnce() {
 			})
 		}
 	}
-	simhook.Uninstall()
 }
 
 func (s *Sim) runner(vt *vthread) {
+	if s.disp != nil {
+		// Bind this goroutine to its Sim before the first resume-receive:
+		// every hook the body calls is ordered after the registration.
+		s.disp.register(s)
+		defer s.disp.unregister()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(simAbort); !ok {
@@ -347,6 +364,7 @@ func (s *Sim) Yield(p simhook.Point, obj any) {
 		panic(simAbort{})
 	}
 	vt.point = p
+	vt.pobj = obj
 	s.trace(fmt.Sprintf("yield %-18s %s", p, s.nameOf(obj)))
 	s.countStep()
 	voluntary := p == simhook.SpSpin || p == simhook.CxSpin || p == simhook.SpPark
@@ -378,12 +396,20 @@ func (s *Sim) ForceFail(p simhook.Point, obj any) bool {
 		panic(simAbort{})
 	}
 	s.countStep()
-	idx := s.dec.choose(s, []string{"P", "F"}, []int{0, 1})
+	cands := []candidate{
+		{tok: "P", vt: s.current, fault: true},
+		{tok: "F", vt: s.current, fault: true, cost: 1},
+	}
+	idx := s.dec.choose(s, cands)
 	if idx < 0 || s.aborted {
+		if idx == pruneRun {
+			s.pruned = true
+		}
+		s.aborted = true
 		panic(simAbort{})
 	}
 	fail := idx == 1
-	s.tokens = append(s.tokens, []string{"P", "F"}[idx])
+	s.tokens = append(s.tokens, cands[idx].tok)
 	if fail {
 		s.trace(fmt.Sprintf("force-fail %s %s", p, s.nameOf(obj)))
 	}
@@ -405,6 +431,7 @@ func (s *Sim) Block(t any) bool {
 	}
 	vt.state = vtBlocked
 	vt.point = simhook.SchedBlocked
+	vt.pobj = nil
 	s.trace("blocked")
 	s.countStep()
 	if s.pick(nil, false) == nil {
@@ -460,9 +487,16 @@ func (s *Sim) Index(t any) (int, bool) {
 type candidate struct {
 	tok    string
 	vt     *vthread
-	inject bool
+	inject bool // spurious-wakeup injection, not a thread step
+	fault  bool // fault-injection decision (P/F), not a scheduling decision
 	cost   int
 }
+
+// pruneRun is the decider return value that abandons the run as redundant
+// (the POR layer proved every remaining candidate is covered by a sibling
+// exploration). Distinct from plain -1, which is an abort after a recorded
+// violation.
+const pruneRun = -2
 
 // pick makes one scheduling decision. from is the yielding thread (still
 // runnable; nil when the previous thread blocked, finished, or the engine
@@ -521,14 +555,11 @@ func (s *Sim) pick(from *vthread, voluntary bool) *vthread {
 		s.violate("deadlock", s.deadlockMsg())
 		return nil
 	}
-	toks := make([]string, len(cands))
-	costs := make([]int, len(cands))
-	for i, c := range cands {
-		toks[i] = c.tok
-		costs[i] = c.cost
-	}
-	idx := s.dec.choose(s, toks, costs)
+	idx := s.dec.choose(s, cands)
 	if idx < 0 {
+		if idx == pruneRun {
+			s.pruned = true
+		}
 		s.aborted = true
 		return nil
 	}

@@ -1,0 +1,220 @@
+package machsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"machlock/internal/machsim/simhook"
+)
+
+// Parallel exploration distributes disjoint schedule prefixes across
+// worker goroutines. Each worker owns a private cooperative-scheduler
+// instance (one Sim per run, one dfsDecider per worker), so every run is
+// exactly as deterministic and race-clean as the serial engine; the only
+// shared mutable state is the hook dispatcher's goroutine registry and the
+// work counter.
+//
+// DETERMINISM. A work-stealing DFS would make the result depend on which
+// worker wins which branch, so the engine explores in WAVES instead: the
+// frontier is an ordered list of branches; one wave runs every branch of
+// the list (workers claim list slots through an atomic counter, but each
+// slot's outcome lands back in its own position), and the children each
+// branch discovers are concatenated in parent order to form the next
+// frontier. Outcomes are folded in frontier order — the first violating
+// branch of the wave is the one reported — so the result and the final
+// frontier are identical for any worker count and any host timing: same
+// frontier in, same result out. The run budget is applied at list
+// granularity (a wave takes a prefix of the frontier, the tail carries
+// over), which is also what makes budgeted runs resumable mid-wave.
+
+// ParallelConfig configures ExploreParallel.
+type ParallelConfig struct {
+	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// RunBudget caps the schedules executed by THIS call (the nightly
+	// budget); 0 means run to exhaustion. Progress counts in the frontier
+	// accumulate across resumed calls.
+	RunBudget int
+	// Resume continues from a checkpoint written by a previous call; nil
+	// starts at the root. The checkpoint's search parameters must match
+	// cfg/opt.
+	Resume *Frontier
+	// Scenario is the label recorded in the checkpoint (and checked on
+	// resume).
+	Scenario string
+}
+
+// runOutcome is one branch's result, collected per slot so folding is
+// order-deterministic.
+type runOutcome struct {
+	steps        int
+	inconclusive bool
+	pruned       bool
+	violations   []Violation
+	schedule     string
+	log          []string
+	children     []dfsBranch
+}
+
+// ExploreParallel enumerates schedules like Explore, but across Workers
+// goroutines with a checkpointable frontier. It returns the accumulated
+// result (cumulative across resumed calls) and the final frontier: Done
+// when the space is exhausted, otherwise the branches a later call can
+// resume from. Unlike Explore it finishes the wave a violation occurs in
+// (the wave's runs are already in flight), so Runs/Steps include the whole
+// wave; the reported violation is still deterministic.
+func ExploreParallel(scenario Scenario, cfg DFSConfig, par ParallelConfig, opt Options) (Result, *Frontier) {
+	workers := par.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fr := par.Resume
+	if fr == nil {
+		name := par.Scenario
+		if name == "" {
+			name = "unnamed"
+		}
+		fr = NewFrontier(name, cfg, opt)
+	}
+	var acc Result
+	if err := checkResume(fr, cfg, par, opt); err != nil {
+		acc.Violations = []Violation{{Checker: "checkpoint", Msg: err.Error()}}
+		return acc, fr
+	}
+	acc.Runs = fr.Runs
+	acc.Steps = fr.Steps
+	acc.Inconclusive = fr.Inconclusive
+	acc.Pruned = fr.Pruned
+
+	frontier := make([]dfsBranch, len(fr.Branches))
+	for i, br := range fr.Branches {
+		frontier[i] = dfsBranch{prefix: br.Prefix, preempts: br.Preempts, sleep: br.Sleep}
+	}
+
+	disp := &dispatcher{}
+	simhook.Install(disp)
+	defer simhook.Uninstall()
+
+	wave := fr.Wave
+	ranThisCall := 0
+	for len(frontier) > 0 {
+		if par.RunBudget > 0 && ranThisCall >= par.RunBudget {
+			break
+		}
+		batch := frontier
+		var tail []dfsBranch
+		if par.RunBudget > 0 && len(batch) > par.RunBudget-ranThisCall {
+			batch = frontier[:par.RunBudget-ranThisCall]
+			tail = frontier[par.RunBudget-ranThisCall:]
+		}
+		outcomes := make([]runOutcome, len(batch))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d := &dfsDecider{budget: cfg.Preemptions, reduce: cfg.Reduction}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(batch) {
+						return
+					}
+					d.stack = d.stack[:0]
+					d.beginRun(batch[i])
+					s := newSim(scenario, d, opt)
+					s.disp = disp
+					s.runOnce()
+					outcomes[i] = runOutcome{
+						steps:        s.steps,
+						inconclusive: s.inconclusive,
+						pruned:       s.pruned,
+						violations:   s.violations,
+						schedule:     s.scheduleString(),
+						log:          append([]string(nil), s.events...),
+						children:     append([]dfsBranch(nil), d.stack...),
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		var children []dfsBranch
+		violated := acc.Failed()
+		for _, o := range outcomes {
+			acc.Runs++
+			ranThisCall++
+			acc.Steps += int64(o.steps)
+			if o.inconclusive {
+				acc.Inconclusive++
+			}
+			if o.pruned {
+				acc.Pruned++
+			}
+			if len(o.violations) > 0 && !violated {
+				acc.Violations = o.violations
+				acc.Schedule = o.schedule
+				acc.Log = o.log
+				violated = true
+			}
+			children = append(children, o.children...)
+		}
+		wave++
+		frontier = append(tail, children...)
+		if violated {
+			break
+		}
+	}
+
+	out := &Frontier{
+		Schema:          FrontierSchema,
+		Scenario:        fr.Scenario,
+		Preemptions:     fr.Preemptions,
+		Reduction:       fr.Reduction,
+		MaxSteps:        fr.MaxSteps,
+		FaultTries:      fr.FaultTries,
+		SpuriousWakeups: fr.SpuriousWakeups,
+		Wave:            wave,
+		Runs:            acc.Runs,
+		Steps:           acc.Steps,
+		Inconclusive:    acc.Inconclusive,
+		Pruned:          acc.Pruned,
+		Done:            len(frontier) == 0,
+	}
+	for _, br := range frontier {
+		out.Branches = append(out.Branches, FrontierBranch{
+			Prefix: br.prefix, Preempts: br.preempts, Sleep: br.sleep,
+		})
+	}
+	acc.Exhausted = out.Done && acc.Inconclusive == 0 && !acc.Failed()
+	return acc, out
+}
+
+// checkResume refuses a checkpoint whose search parameters differ from the
+// caller's: resuming a frontier under a different budget, reduction, or
+// fault model would silently change what the eventual Exhausted verdict
+// covers.
+func checkResume(fr *Frontier, cfg DFSConfig, par ParallelConfig, opt Options) error {
+	if err := fr.Validate(); err != nil {
+		return err
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+	switch {
+	case par.Scenario != "" && fr.Scenario != par.Scenario:
+		return fmt.Errorf("checkpoint is for scenario %q, not %q", fr.Scenario, par.Scenario)
+	case fr.Preemptions != cfg.Preemptions:
+		return fmt.Errorf("checkpoint preemption bound %d, caller wants %d", fr.Preemptions, cfg.Preemptions)
+	case fr.Reduction != cfg.Reduction.String():
+		return fmt.Errorf("checkpoint reduction %q, caller wants %q", fr.Reduction, cfg.Reduction)
+	case fr.MaxSteps != maxSteps:
+		return fmt.Errorf("checkpoint max_steps %d, caller wants %d", fr.MaxSteps, maxSteps)
+	case fr.FaultTries != opt.FaultTries || fr.SpuriousWakeups != opt.SpuriousWakeups:
+		return fmt.Errorf("checkpoint fault model (tries=%v wakeups=%v) differs from caller (tries=%v wakeups=%v)",
+			fr.FaultTries, fr.SpuriousWakeups, opt.FaultTries, opt.SpuriousWakeups)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package machsim
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSimParallelDeterminism: the wave engine's contract is that the
+// worker count is invisible — same scenario, same config, any Workers
+// value, byte-identical outcome and frontier. Run a violating scenario and
+// a clean one under 1, 2, and 8 workers and require identical results.
+func TestSimParallelDeterminism(t *testing.T) {
+	type outcome struct {
+		res Result
+		fr  Frontier
+	}
+	collect := func(sc Scenario, name string, cfg DFSConfig, workers int) outcome {
+		res, fr := ExploreParallel(sc, cfg, ParallelConfig{Workers: workers, Scenario: name}, Options{})
+		return outcome{res: res, fr: *fr}
+	}
+	cases := []struct {
+		name string
+		sc   Scenario
+		cfg  DFSConfig
+		fail bool
+	}{
+		{"lost-wakeup", lostWakeupScenario, DFSConfig{Preemptions: 1}, true},
+		{"disjoint-clean", disjointLocksScenario(2, 3), DFSConfig{Preemptions: 2, Reduction: ReduceSleep}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := collect(tc.sc, tc.name, tc.cfg, 1)
+			if base.res.Failed() != tc.fail {
+				t.Fatalf("workers=1: failed=%v, want %v: %s", base.res.Failed(), tc.fail, base.res.Summary())
+			}
+			for _, w := range []int{2, 8} {
+				got := collect(tc.sc, tc.name, tc.cfg, w)
+				if !reflect.DeepEqual(base.res, got.res) {
+					t.Errorf("workers=%d result differs:\n  w1: %+v\n  w%d: %+v", w, base.res, w, got.res)
+				}
+				if !reflect.DeepEqual(base.fr, got.fr) {
+					t.Errorf("workers=%d frontier differs:\n  w1: %+v\n  w%d: %+v", w, base.fr, w, got.fr)
+				}
+			}
+		})
+	}
+}
+
+// TestSimParallelMatchesSerialVerdict: ExploreParallel must reach the same
+// verdict as the serial Explore engine — same exhaustion on clean
+// scenarios, same violated checkers on buggy ones.
+func TestSimParallelMatchesSerialVerdict(t *testing.T) {
+	sc := disjointLocksScenario(2, 2)
+	cfg := DFSConfig{Preemptions: 2, Reduction: ReduceSleep}
+	serial := Explore(sc, cfg, Options{})
+	par, fr := ExploreParallel(sc, cfg, ParallelConfig{Workers: 4, Scenario: "clean"}, Options{})
+	if !serial.Exhausted || !par.Exhausted || !fr.Done {
+		t.Fatalf("expected both engines to exhaust: serial=%s parallel=%s done=%v",
+			serial.Summary(), par.Summary(), fr.Done)
+	}
+	if serial.Runs != par.Runs || serial.Steps != par.Steps || serial.Pruned != par.Pruned {
+		t.Fatalf("engines explored different spaces: serial %s, parallel %s",
+			serial.Summary(), par.Summary())
+	}
+
+	sres := Explore(lostWakeupScenario, DFSConfig{Preemptions: 1}, Options{})
+	pres, _ := ExploreParallel(lostWakeupScenario, DFSConfig{Preemptions: 1},
+		ParallelConfig{Workers: 4, Scenario: "buggy"}, Options{})
+	if checkerSignature(sres) != checkerSignature(pres) {
+		t.Fatalf("violation sets differ: serial=%q parallel=%q",
+			checkerSignature(sres), checkerSignature(pres))
+	}
+	// The parallel engine's reported schedule must still replay.
+	rep := Replay(lostWakeupScenario, pres.Schedule, Options{})
+	if checkerSignature(rep) != checkerSignature(pres) {
+		t.Fatalf("parallel schedule %q replayed to %q, want %q",
+			pres.Schedule, checkerSignature(rep), checkerSignature(pres))
+	}
+}
+
+// TestSimFrontierRoundTrip: a checkpoint must survive Write/Read intact,
+// both through a buffer and through a file, and Validate must reject the
+// obvious corruptions.
+func TestSimFrontierRoundTrip(t *testing.T) {
+	// A budgeted run leaves a non-trivial frontier to round-trip.
+	_, fr := ExploreParallel(disjointLocksScenario(2, 3),
+		DFSConfig{Preemptions: 2, Reduction: ReduceSleep},
+		ParallelConfig{Workers: 2, RunBudget: 3, Scenario: "roundtrip"}, Options{})
+	if fr.Done || len(fr.Branches) == 0 {
+		t.Fatalf("budgeted run should leave work behind: done=%v branches=%d", fr.Done, len(fr.Branches))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFrontier(&buf, fr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrontier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fr, back) {
+		t.Fatalf("buffer round trip changed the frontier:\n  out: %+v\n  in:  %+v", fr, back)
+	}
+
+	path := filepath.Join(t.TempDir(), "frontier.json")
+	if err := WriteFrontierFile(path, fr); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadFrontierFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fr, back) {
+		t.Fatalf("file round trip changed the frontier")
+	}
+
+	bad := *fr
+	bad.Schema = "machlock-simfrontier/v0"
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a wrong schema")
+	}
+	bad = *fr
+	bad.Done = true
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted done=true with branches remaining")
+	}
+	bad = *fr
+	bad.Reduction = "bogus"
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted an unknown reduction")
+	}
+}
+
+// TestSimFrontierResume: a search chopped into budgeted slices, each
+// resuming the previous checkpoint, must land on the exact verdict and
+// cumulative counts of the one-shot search.
+func TestSimFrontierResume(t *testing.T) {
+	sc := disjointLocksScenario(2, 2)
+	cfg := DFSConfig{Preemptions: 2, Reduction: ReduceSleep}
+	oneShot, _ := ExploreParallel(sc, cfg, ParallelConfig{Workers: 2, Scenario: "resume"}, Options{})
+	if !oneShot.Exhausted {
+		t.Fatalf("one-shot search did not exhaust: %s", oneShot.Summary())
+	}
+
+	var res Result
+	var fr *Frontier
+	slices := 0
+	for {
+		res, fr = ExploreParallel(sc, cfg,
+			ParallelConfig{Workers: 2, RunBudget: 7, Resume: fr, Scenario: "resume"}, Options{})
+		if res.Failed() {
+			t.Fatalf("resumed slice found a violation: %s", res.Report())
+		}
+		slices++
+		if fr.Done {
+			break
+		}
+		if slices > 1000 {
+			t.Fatal("resumed search did not converge")
+		}
+	}
+	if slices < 2 {
+		t.Fatalf("budget did not actually slice the search (%d slices, %d runs)", slices, res.Runs)
+	}
+	if !res.Exhausted || res.Runs != oneShot.Runs || res.Steps != oneShot.Steps || res.Pruned != oneShot.Pruned {
+		t.Fatalf("resumed search diverged from one-shot:\n  one-shot: %s\n  resumed:  %s (%d slices)",
+			oneShot.Summary(), res.Summary(), slices)
+	}
+}
+
+// TestSimFrontierRejectsMismatch: resuming a checkpoint under different
+// search parameters would silently change what Exhausted means, so the
+// engine must refuse.
+func TestSimFrontierRejectsMismatch(t *testing.T) {
+	sc := disjointLocksScenario(2, 2)
+	cfg := DFSConfig{Preemptions: 2, Reduction: ReduceSleep}
+	_, fr := ExploreParallel(sc, cfg, ParallelConfig{Workers: 1, RunBudget: 2, Scenario: "pin"}, Options{})
+	if fr.Done {
+		t.Fatal("budgeted run finished early; cannot test resume")
+	}
+	refuse := func(name string, cfg2 DFSConfig, par ParallelConfig, opt Options) {
+		t.Helper()
+		res, _ := ExploreParallel(sc, cfg2, par, opt)
+		if !res.Failed() || res.Violations[0].Checker != "checkpoint" {
+			t.Errorf("%s: expected a checkpoint refusal, got %+v", name, res.Violations)
+		}
+	}
+	refuse("preemptions", DFSConfig{Preemptions: 3, Reduction: ReduceSleep},
+		ParallelConfig{Resume: fr, Scenario: "pin"}, Options{})
+	refuse("reduction", DFSConfig{Preemptions: 2, Reduction: ReduceNone},
+		ParallelConfig{Resume: fr, Scenario: "pin"}, Options{})
+	refuse("scenario", cfg, ParallelConfig{Resume: fr, Scenario: "other"}, Options{})
+	refuse("fault-model", cfg, ParallelConfig{Resume: fr, Scenario: "pin"}, Options{FaultTries: true})
+	refuse("max-steps", cfg, ParallelConfig{Resume: fr, Scenario: "pin"}, Options{MaxSteps: 99})
+}

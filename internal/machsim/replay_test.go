@@ -1,0 +1,174 @@
+package machsim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"machlock/internal/core/cxlock"
+	"machlock/internal/core/splock"
+	"machlock/internal/sched"
+)
+
+// forcedTryScenario fails its at-end check whenever the fault engine forces
+// the try to fail — so a FaultTries exploration finds a violation whose
+// schedule contains a fault token (P/F).
+func forcedTryScenario(s *Sim) {
+	l := cxlock.NewWith(cxlock.Options{Name: "try"})
+	n := 0
+	s.Spawn("trier", func(t *sched.Thread) {
+		if l.TryWrite(nil) {
+			n++
+			l.Done(nil)
+		}
+	})
+	s.AtEnd(func(fail func(string, ...any)) {
+		if n != 1 {
+			fail("uncontended try was forced to fail: n=%d", n)
+		}
+	})
+}
+
+// spuriousScenario completes cleanly when its waiter is woken normally, and
+// fails its at-end check when the fault engine injects a spurious wakeup —
+// so a SpuriousWakeups exploration finds a violation whose schedule
+// contains an injection token (c<i>).
+func spuriousScenario(s *Sim) {
+	l := &splock.Lock{}
+	type ev struct{ _ int }
+	e := &ev{}
+	ready := false
+	var got sched.WaitResult
+	s.Spawn("waiter", func(t *sched.Thread) {
+		l.Lock()
+		for !ready {
+			sched.AssertWait(t, e)
+			l.Unlock()
+			got = sched.ThreadBlock(t)
+			if got == sched.Restarted {
+				return
+			}
+			l.Lock()
+		}
+		l.Unlock()
+	})
+	s.Spawn("waker", func(_ *sched.Thread) {
+		l.Lock()
+		ready = true
+		l.Unlock()
+		sched.ThreadWakeup(e)
+	})
+	s.AtEnd(func(fail func(string, ...any)) {
+		if got == sched.Restarted {
+			fail("waiter restarted by a spurious wakeup")
+		}
+	})
+}
+
+// TestSimReplayRoundTrip: for every engine — seeded random walk, bounded
+// DFS, fault-injecting DFS, wakeup-injecting DFS, and the parallel wave
+// engine — a violating Result's schedule string must Replay to the
+// identical violations AND the identical event sequence. This is the
+// harness's whole debugging contract: the schedule line in a failure
+// report IS the bug, reproducible byte for byte.
+func TestSimReplayRoundTrip(t *testing.T) {
+	cases := []struct {
+		name      string
+		sc        Scenario
+		opt       Options
+		run       func(sc Scenario, opt Options) Result
+		wantToken string // a token kind the schedule must exercise
+	}{
+		{
+			name: "random",
+			sc:   lostWakeupScenario,
+			run: func(sc Scenario, opt Options) Result {
+				return Random(sc, 400, 7, opt)
+			},
+		},
+		{
+			name: "dfs",
+			sc:   lostWakeupScenario,
+			run: func(sc Scenario, opt Options) Result {
+				return Explore(sc, DFSConfig{Preemptions: 1}, opt)
+			},
+		},
+		{
+			name: "dfs-reduced",
+			sc:   lostWakeupScenario,
+			run: func(sc Scenario, opt Options) Result {
+				return Explore(sc, DFSConfig{Preemptions: 1, Reduction: ReduceSleep}, opt)
+			},
+		},
+		{
+			name: "faulted",
+			sc:   forcedTryScenario,
+			opt:  Options{FaultTries: true},
+			run: func(sc Scenario, opt Options) Result {
+				return Explore(sc, DFSConfig{Preemptions: 1}, opt)
+			},
+			wantToken: "F",
+		},
+		{
+			name: "spurious",
+			sc:   spuriousScenario,
+			opt:  Options{SpuriousWakeups: true},
+			run: func(sc Scenario, opt Options) Result {
+				return Explore(sc, DFSConfig{Preemptions: 1}, opt)
+			},
+			wantToken: "c0",
+		},
+		{
+			name: "parallel",
+			sc:   lostWakeupScenario,
+			run: func(sc Scenario, opt Options) Result {
+				res, _ := ExploreParallel(sc, DFSConfig{Preemptions: 1},
+					ParallelConfig{Workers: 4, Scenario: "roundtrip"}, opt)
+				return res
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := tc.run(tc.sc, tc.opt)
+			if !res.Failed() {
+				t.Fatalf("engine found no violation: %s", res.Summary())
+			}
+			if tc.wantToken != "" {
+				found := false
+				for _, tok := range strings.Split(res.Schedule, ",") {
+					if tok == tc.wantToken {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("schedule %q does not exercise token %q", res.Schedule, tc.wantToken)
+				}
+			}
+			rep := Replay(tc.sc, res.Schedule, tc.opt)
+			if !reflect.DeepEqual(res.Violations, rep.Violations) {
+				t.Fatalf("replay violations differ:\n  explore: %+v\n  replay:  %+v", res.Violations, rep.Violations)
+			}
+			if !reflect.DeepEqual(res.Log, rep.Log) {
+				t.Fatalf("replay event sequence differs:\n  explore:\n%s\n  replay:\n%s",
+					strings.Join(res.Log, "\n"), strings.Join(rep.Log, "\n"))
+			}
+		})
+	}
+}
+
+// TestSimScheduleFromReport: the schedule survives a round trip through the
+// rendered failure report — paste a CI log line back into Replay.
+func TestSimScheduleFromReport(t *testing.T) {
+	res := Explore(lostWakeupScenario, DFSConfig{Preemptions: 1}, Options{})
+	if !res.Failed() {
+		t.Fatal("expected a violation")
+	}
+	sched, ok := ScheduleFromReport(res.Report())
+	if !ok || sched != res.Schedule {
+		t.Fatalf("ScheduleFromReport = %q, %v; want %q, true", sched, ok, res.Schedule)
+	}
+	if _, ok := ScheduleFromReport("no schedule here"); ok {
+		t.Fatal("ScheduleFromReport invented a schedule")
+	}
+}

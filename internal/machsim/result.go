@@ -22,6 +22,7 @@ type Result struct {
 	Runs         int   // schedules executed
 	Steps        int64 // total decisions across all runs
 	Inconclusive int   // runs abandoned at MaxSteps (possible livelocks)
+	Pruned       int   // runs abandoned by partial-order reduction (covered elsewhere)
 	Exhausted    bool  // Explore only: the whole bounded space was covered
 	Seed         int64 // Random only: the failing run's seed (or the base seed)
 	Schedule     string
@@ -42,7 +43,7 @@ func (r Result) Report() string {
 		fmt.Fprintf(&b, "  %s\n", v)
 	}
 	if r.Schedule != "" {
-		fmt.Fprintf(&b, "schedule (replay with machsim.Replay): %s\n", r.Schedule)
+		fmt.Fprintf(&b, "%s%s\n", scheduleMarker, r.Schedule)
 	}
 	if r.Seed != 0 {
 		fmt.Fprintf(&b, "seed: %d (rerun with MACHSIM_SEED=%d)\n", r.Seed, r.Seed)
@@ -61,6 +62,9 @@ func (r Result) Summary() string {
 	s := fmt.Sprintf("%d run(s), %d step(s)", r.Runs, r.Steps)
 	if r.Inconclusive > 0 {
 		s += fmt.Sprintf(", %d inconclusive", r.Inconclusive)
+	}
+	if r.Pruned > 0 {
+		s += fmt.Sprintf(", %d pruned", r.Pruned)
 	}
 	if r.Exhausted {
 		s += ", space exhausted"
@@ -83,8 +87,26 @@ func resultOf(s *Sim, runs int) Result {
 	if s.inconclusive {
 		r.Inconclusive = 1
 	}
+	if s.pruned {
+		r.Pruned = 1
+	}
 	if len(s.violations) > 0 {
 		r.Log = append([]string(nil), s.events...)
 	}
 	return r
+}
+
+// scheduleMarker prefixes the reproducing schedule in Report's output.
+const scheduleMarker = "schedule (replay with machsim.Replay): "
+
+// ScheduleFromReport extracts the reproducing schedule from a rendered
+// failure report — the exact line a CI log or a t.Fatal prints — so a
+// pasted report round-trips into machsim.Replay without hand-editing.
+func ScheduleFromReport(report string) (string, bool) {
+	for _, line := range strings.Split(report, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), scheduleMarker); ok {
+			return rest, true
+		}
+	}
+	return "", false
 }

@@ -1,0 +1,106 @@
+package scenarios
+
+import (
+	"machlock/internal/core/cxlock"
+	"machlock/internal/core/splock"
+	"machlock/internal/machsim"
+	"machlock/internal/sched"
+)
+
+// IntBarrierScenario models the Section 7 interrupt-barrier deadlock: a
+// processor updating hardware state holds the pmap lock and waits for every
+// other processor to acknowledge an IPI, while another processor — about to
+// acquire that same pmap lock — cannot service interrupts once it has
+// committed to the acquisition. The paper's fix is the exemption protocol:
+// a processor exempts itself from interrupt barriers before committing to a
+// lock acquisition, and the barrier initiator counts exempt processors as
+// acknowledged.
+//
+// The victim thread is one such processor: it takes the pmap lock for its
+// own work, and it always services exactly one IPI — as soon as the IPI
+// arrives, unless it is committed to the lock at that moment. The initiator
+// holds the pmap lock, posts the IPI, and waits for the acknowledgement.
+//
+// fixed=false plants the pre-exemption protocol: the victim simply goes
+// for the lock. On schedules where the initiator already holds it, the
+// victim blocks uninterruptible, the ack never comes, and the search must
+// find the resulting deadlock. fixed=true runs the exemption protocol —
+// the victim registers exempt (waking the initiator) BEFORE committing,
+// clears it after acquiring, and the initiator's wait loop re-checks the
+// exemption on every wakeup — and must exhaust clean.
+//
+// Modeling note: the historical bug is a SPIN deadlock (interrupts
+// disabled, spinning on the lock word), which a schedule explorer can only
+// classify as a step-budget overrun. To make the cycle structurally
+// visible to the deadlock checker, the pmap stand-in is a sleepable
+// complex lock and both waits are event waits: identical wait-for graph,
+// observable blocking.
+func IntBarrierScenario(fixed bool) machsim.Scenario {
+	return func(s *machsim.Sim) {
+		pmap := cxlock.NewWith(cxlock.Options{Sleep: true, Name: "pmap"})
+		ackLock := &splock.Lock{}
+		type ackState struct {
+			ipi    bool // initiator has posted its IPI
+			acked  bool // victim acknowledged it
+			exempt bool // victim exempted itself from barriers (fix only)
+		}
+		st := &ackState{}
+		ipiEvent := sched.Event(&st.ipi)
+		ackEvent := sched.Event(&st.acked)
+		s.Label(pmap, "pmap.lock")
+		s.Label(ackLock, "ack.lock")
+
+		s.Spawn("victim", func(t *sched.Thread) {
+			if fixed {
+				// The exemption: declare "I cannot service interrupts"
+				// BEFORE committing to the acquisition, and wake the
+				// initiator so it can count the exemption as an ack.
+				ackLock.Lock()
+				st.exempt = true
+				ackLock.Unlock()
+				sched.ThreadWakeup(ackEvent)
+			}
+			pmap.Write(t) // committed: no interrupt service past this point
+			if fixed {
+				ackLock.Lock()
+				st.exempt = false
+				ackLock.Unlock()
+			}
+			pmap.Done(t)
+
+			// Interrupts deliverable again: service the one IPI this run
+			// sends, waiting for it if it has not arrived yet.
+			ackLock.Lock()
+			for !st.ipi {
+				sched.AssertWait(t, ipiEvent)
+				ackLock.Unlock()
+				sched.ThreadBlock(t)
+				ackLock.Lock()
+			}
+			st.acked = true
+			ackLock.Unlock()
+			sched.ThreadWakeup(ackEvent)
+		})
+
+		s.Spawn("initiator", func(t *sched.Thread) {
+			pmap.Write(t) // the hardware update runs under the pmap lock
+			ackLock.Lock()
+			st.ipi = true
+			ackLock.Unlock()
+			sched.ThreadWakeup(ipiEvent)
+			for {
+				ackLock.Lock()
+				done := st.acked || st.exempt
+				if done {
+					ackLock.Unlock()
+					break
+				}
+				sched.AssertWait(t, ackEvent)
+				ackLock.Unlock()
+				//machvet:allow sleepwake — modeled protocol: the Section 7 barrier initiator holds pmap across the ack wait by design; the fix is the exemption, not dropping the lock
+				sched.ThreadBlock(t)
+			}
+			pmap.Done(t)
+		})
+	}
+}

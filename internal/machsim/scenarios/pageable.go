@@ -1,0 +1,79 @@
+package scenarios
+
+import (
+	"machlock/internal/machsim"
+	"machlock/internal/sched"
+	"machlock/internal/vm"
+)
+
+// PageableScenario runs the REAL vm code through the Section 7.1 deadlock:
+// vm_map_pageable wiring pages under a recursive map lock while the pageout
+// daemon needs the map's write lock to free memory.
+//
+// The setup is a 2-page machine squeezed dry: a hog object owns both
+// physical pages (resident, unwired — exactly what pageout reclaims) and a
+// wire request arrives for two pages of a second object. The wire operation
+// must fault its pages in, every fault hits the shortage, and only the
+// pageout thread can resolve it.
+//
+// fixed=false uses Map.WireRecursive, the original protocol the paper
+// dissects: the shortage wait happens with the outer recursive read hold
+// still in place, the pageout thread blocks behind it on the write lock,
+// and the system deadlocks — the search must find it. fixed=true uses
+// Map.Wire, the rewrite that fully releases the map lock before faulting;
+// the same squeeze must exhaust clean.
+func PageableScenario(fixed bool) machsim.Scenario {
+	return func(s *machsim.Sim) {
+		pool := vm.NewPool(2)
+		m := vm.NewMap(pool)
+		hog := vm.NewObject(pool, 2)
+		target := vm.NewObject(pool, 2)
+		s.Label(m.DebugLock(), "vm.map.lock")
+
+		// Setup (not a scheduling point): the hog's pages go resident,
+		// emptying the pool before any virtual thread runs.
+		init := sched.New("init")
+		if err := m.Allocate(init, 0, 2, hog, 0); err != nil {
+			panic(err)
+		}
+		if err := m.Allocate(init, 10, 2, target, 0); err != nil {
+			panic(err)
+		}
+		for va := uint64(0); va < 2; va++ {
+			if err := m.Fault(init, va, false); err != nil {
+				panic(err)
+			}
+		}
+		if pool.FreeCount() != 0 {
+			panic("scenarios: pageable setup should drain the pool")
+		}
+
+		var wireErr error
+		s.Spawn("wirer", func(t *sched.Thread) {
+			if fixed {
+				wireErr = m.Wire(t, 10, 12)
+			} else {
+				wireErr = m.WireRecursive(t, 10, 12)
+			}
+		})
+		s.Spawn("pageout", func(t *sched.Thread) {
+			// One reclaim pass, like the daemon's shortage response. The
+			// hog's two unwired pages are the reclaimable set.
+			m.ReclaimPages(t, 2)
+		})
+		s.AtEnd(func(fail func(string, ...any)) {
+			if wireErr != nil {
+				fail("wire failed: %v", wireErr)
+			}
+			for _, e := range m.Entries(initActorThread()) {
+				if e.Start() == 10 && e.WireCount() != 1 {
+					fail("target entry wire count %d, want 1", e.WireCount())
+				}
+			}
+		})
+	}
+}
+
+// initActorThread gives at-end checks a throwaway thread identity (at-end
+// code runs outside any virtual thread, with the locks uncontended).
+func initActorThread() *sched.Thread { return sched.New("at-end") }

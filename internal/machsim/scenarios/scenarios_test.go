@@ -1,0 +1,80 @@
+package scenarios
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"machlock/internal/machsim"
+)
+
+func checkers(res machsim.Result) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, v := range res.Violations {
+		if !seen[v.Checker] {
+			seen[v.Checker] = true
+			names = append(names, v.Checker)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestSimScenarios drives every registered scenario through the bounded
+// search under its stated parameters. Planted pre-fix models are negative
+// controls: the search must re-find the historical bug and the reported
+// schedule must replay to the same violation. Real-protocol scenarios must
+// exhaust their bounded space with zero violations.
+func TestSimScenarios(t *testing.T) {
+	for _, n := range All() {
+		t.Run(n.Name, func(t *testing.T) {
+			cfg := machsim.DFSConfig{
+				Preemptions: n.Preemptions,
+				Reduction:   n.Reduction,
+				MaxRuns:     200000,
+			}
+			res := machsim.Explore(n.Scenario, cfg, machsim.Options{})
+			if len(n.WantCheckers) == 0 {
+				machsim.Check(t, res)
+				if !res.Exhausted {
+					t.Fatalf("real protocol did not exhaust its bounded space: %s", res.Summary())
+				}
+				return
+			}
+			if !res.Failed() {
+				t.Fatalf("search missed the planted bug: %s", res.Summary())
+			}
+			got := checkers(res)
+			if strings.Join(got, ",") != strings.Join(n.WantCheckers, ",") {
+				t.Fatalf("found %v, want %v\n%s", got, n.WantCheckers, res.Report())
+			}
+			rep := machsim.Replay(n.Scenario, res.Schedule, machsim.Options{})
+			if strings.Join(checkers(rep), ",") != strings.Join(got, ",") {
+				t.Fatalf("schedule %q replayed to %v, want %v", res.Schedule, checkers(rep), got)
+			}
+		})
+	}
+}
+
+// TestSimScenariosParallel re-runs one planted model and one real protocol
+// through the parallel wave engine: same verdicts as the serial search,
+// from a multi-worker exploration.
+func TestSimScenariosParallel(t *testing.T) {
+	buggy, _ := Lookup("pageable-prefix")
+	res, _ := machsim.ExploreParallel(buggy.Scenario,
+		machsim.DFSConfig{Preemptions: buggy.Preemptions, Reduction: buggy.Reduction},
+		machsim.ParallelConfig{Workers: 4, Scenario: buggy.Name}, machsim.Options{})
+	if !res.Failed() || strings.Join(checkers(res), ",") != "deadlock" {
+		t.Fatalf("parallel search missed the planted deadlock: %s", res.Summary())
+	}
+
+	clean, _ := Lookup("intbarrier")
+	res, fr := machsim.ExploreParallel(clean.Scenario,
+		machsim.DFSConfig{Preemptions: clean.Preemptions, Reduction: clean.Reduction},
+		machsim.ParallelConfig{Workers: 4, Scenario: clean.Name}, machsim.Options{})
+	machsim.Check(t, res)
+	if !res.Exhausted || !fr.Done {
+		t.Fatalf("parallel search did not exhaust the real protocol: %s", res.Summary())
+	}
+}

@@ -146,7 +146,9 @@ func TestModeStrings(t *testing.T) {
 // TestBothOrdersConcurrentlyStress is the Section 5 scenario itself:
 // forward operations (pmap→pv) racing reverse operations (pv→pmap) under
 // each arbitration strategy. The test passes if it neither deadlocks nor
-// corrupts the pte/pv inverse invariant.
+// corrupts the pte/pv inverse invariant. Kept short: real concurrency under
+// -race is the smoke layer; the deterministic schedule-exploration version
+// is TestSimBothOrders in sim_test.go.
 func TestBothOrdersConcurrentlyStress(t *testing.T) {
 	for _, mode := range modes() {
 		s := NewSystem(mode, 8)
@@ -161,7 +163,7 @@ func TestBothOrdersConcurrentlyStress(t *testing.T) {
 			wg.Add(1)
 			go func(pm *Pmap, seed uint64) {
 				defer wg.Done()
-				for j := 0; j < 400; j++ {
+				for j := 0; j < 120; j++ {
 					va := (seed*131 + uint64(j)*17) % 64
 					pa := (seed + uint64(j)) % 8
 					s.Enter(pm, va, pa, ProtAll)
@@ -176,7 +178,7 @@ func TestBothOrdersConcurrentlyStress(t *testing.T) {
 			wg.Add(1)
 			go func(seed int) {
 				defer wg.Done()
-				for j := 0; j < 200; j++ {
+				for j := 0; j < 60; j++ {
 					pa := uint64((seed + j) % 8)
 					if j%5 == 0 {
 						s.PageProtect(pa, ProtNone)

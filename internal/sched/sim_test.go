@@ -5,6 +5,7 @@
 package sched_test
 
 import (
+	"fmt"
 	"testing"
 
 	"machlock/internal/core/splock"
@@ -123,5 +124,66 @@ func TestSimClearWaitRacesWakeup(t *testing.T) {
 	machsim.Check(t, res)
 	if !saw[sched.Restarted] || !saw[sched.Awakened] {
 		t.Fatalf("exploration missed an ordering: saw=%v (want both Restarted and Awakened)", saw)
+	}
+}
+
+// TestSimManyEventsManyThreads is the machsim twin of
+// TestManyEventsManyThreadsStress (which stays as a shortened raw -race
+// smoke test): waiters on distinct events share one hash table while a
+// waker posts their conditions and then hammers both events with stray
+// wakeups. Every schedule must terminate — a wakeup delivered to the wrong
+// queue, or lost in the assert/block window, deadlocks the waiter and the
+// harness reports it structurally — and stray wakeups on empty queues must
+// be harmless. Each waiter guards its condition with its own lock (the
+// cross-thread coupling under test is the shared event table, not lock
+// contention; a shared condition lock makes every spin a free DFS branch
+// point and the space balloons without adding coverage).
+func TestSimManyEventsManyThreads(t *testing.T) {
+	scenario := func(s *machsim.Sim) {
+		locks := []*splock.Lock{{}, {}}
+		events := []*int{new(int), new(int)}
+		flags := make([]bool, len(events))
+		var results []sched.WaitResult
+		for i := range events {
+			s.Spawn(fmt.Sprintf("waiter%d", i), func(t *sched.Thread) {
+				locks[i].Lock()
+				for !flags[i] {
+					r := sched.ThreadSleep(t, events[i], locks[i].Unlock)
+					results = append(results, r)
+					locks[i].Lock()
+				}
+				locks[i].Unlock()
+			})
+		}
+		s.Spawn("waker", func(_ *sched.Thread) {
+			for i := range events {
+				locks[i].Lock()
+				flags[i] = true
+				locks[i].Unlock()
+				sched.ThreadWakeup(events[i])
+			}
+			// Stray wakeups on events whose waiters may already be gone —
+			// the raw stress's hammering wakers in miniature.
+			for i := range events {
+				sched.ThreadWakeup(events[i])
+			}
+		})
+		s.AtEnd(func(fail func(string, ...any)) {
+			for _, r := range results {
+				if r != sched.Awakened && r != sched.NotWaiting {
+					fail("unexpected wait result %v", r)
+				}
+			}
+		})
+	}
+	machsim.Check(t, machsim.Random(scenario, 200, 37, machsim.Options{}))
+	res := machsim.Explore(scenario, machsim.DFSConfig{
+		Preemptions: 1,
+		Reduction:   machsim.ReduceSleep,
+		MaxRuns:     100000,
+	}, machsim.Options{})
+	machsim.Check(t, res)
+	if !res.Exhausted {
+		t.Fatalf("bounded space not exhausted: %s", res.Summary())
 	}
 }

@@ -281,6 +281,9 @@ func TestNoLostWakeupStress(t *testing.T) {
 	waitTimeout(t, "consumer (lost wakeup?)", consumer.Join)
 }
 
+// TestManyEventsManyThreadsStress is the raw -race smoke layer; the
+// deterministic schedule-exploration twin is TestSimManyEventsManyThreads
+// in sim_test.go.
 func TestManyEventsManyThreadsStress(t *testing.T) {
 	tb := NewTable()
 	const nev = 32
@@ -308,10 +311,10 @@ func TestManyEventsManyThreadsStress(t *testing.T) {
 		}()
 	}
 	var threads []*Thread
-	for i := 0; i < 16; i++ {
+	for i := 0; i < 8; i++ {
 		ev := events[i%nev]
 		threads = append(threads, Go("w", func(self *Thread) {
-			for j := 0; j < 200; j++ {
+			for j := 0; j < 60; j++ {
 				tb.AssertWait(self, ev)
 				tb.ThreadBlock(self)
 			}
